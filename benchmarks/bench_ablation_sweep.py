@@ -1,0 +1,137 @@
+"""Ablations beyond the paper's figures.
+
+Design choices DESIGN.md calls out, each isolated:
+
+- sweeping-axis selection alone vs direction selection alone (Figure 11
+  only reports both-off);
+- the distance-queue insertion policy (footnote 1: object pairs only vs
+  all pairs keyed by max distance);
+- qDmax insertion pruning in the HS baseline (the charitable reading vs
+  prune-at-dequeue-only);
+- the Equation (3) queue-boundary model vs pure split-on-overflow
+  (Section 4.4's comparison against earlier queue management).
+"""
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.workloads.experiments import scaled_ks
+
+
+def _run(setup, k, algorithm="bkdj", **cfg):
+    runner = JoinRunner(setup.tree_r, setup.tree_s, JoinConfig(**cfg))
+    dmax = setup.true_dmax(k) if algorithm == "sjsort" else None
+    return runner.kdj(k, algorithm, dmax=dmax).stats
+
+
+def test_ablation_sweep_optimizations(benchmark, setup, report):
+    k = scaled_ks()[-2]
+
+    def run():
+        variants = {
+            "both on": {},
+            "axis only": {"optimize_direction": False},
+            "direction only": {"optimize_axis": False},
+            "both off": {"optimize_axis": False, "optimize_direction": False},
+        }
+        rows = []
+        for name, cfg in variants.items():
+            s = _run(setup, k, **cfg)
+            rows.append(
+                {
+                    "variant": name,
+                    "k": k,
+                    "total_comps": s.total_distance_computations,
+                    "real_comps": s.real_distance_computations,
+                    "queue_insertions": s.queue_insertions,
+                    "response_time_s": s.response_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("ablation_sweep", rows, "Ablation: sweep axis/direction selection (B-KDJ)")
+    by_name = {r["variant"]: r for r in rows}
+    assert by_name["both on"]["total_comps"] <= by_name["both off"]["total_comps"]
+
+
+def test_ablation_distance_queue_policy(benchmark, setup, report):
+    k = scaled_ks()[-2]
+
+    def run():
+        rows = []
+        for name, flag in (("object pairs only", False), ("all pairs (max dist)", True)):
+            s = _run(setup, k, distance_queue_all_pairs=flag)
+            rows.append(
+                {
+                    "policy": name,
+                    "k": k,
+                    "dist_comps": s.real_distance_computations,
+                    "queue_insertions": s.queue_insertions,
+                    "distance_queue_insertions": s.distance_queue_insertions,
+                    "response_time_s": s.response_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_dqueue_policy",
+        rows,
+        "Ablation: distance-queue insertion policy (paper footnote 1)",
+    )
+    assert len(rows) == 2
+
+
+def test_ablation_hs_insert_pruning(benchmark, setup, report):
+    k = scaled_ks()[2] if len(scaled_ks()) > 2 else scaled_ks()[-1]
+
+    def run():
+        rows = []
+        for name, flag in (("prune at insert", True), ("prune at dequeue only", False)):
+            s = _run(setup, k, algorithm="hs", hs_insert_pruning=flag)
+            rows.append(
+                {
+                    "variant": name,
+                    "k": k,
+                    "dist_comps": s.real_distance_computations,
+                    "queue_insertions": s.queue_insertions,
+                    "response_time_s": s.response_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_hs_pruning",
+        rows,
+        "Ablation: HS-KDJ queue-insertion pruning",
+    )
+    strong, weak = rows
+    assert weak["queue_insertions"] >= strong["queue_insertions"]
+
+
+def test_ablation_queue_boundary_model(benchmark, setup, report):
+    k = scaled_ks()[-1]
+
+    def run():
+        rows = []
+        for name, flag in (("eq.3 boundaries", True), ("split-only", False)):
+            s = _run(setup, k, algorithm="amkdj", model_queue_boundaries=flag)
+            rows.append(
+                {
+                    "scheme": name,
+                    "k": k,
+                    "queue_splits": s.queue_splits,
+                    "queue_swap_ins": s.queue_swap_ins,
+                    "response_time_s": s.response_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_queue_model",
+        rows,
+        "Ablation: hybrid-queue boundary placement (Section 4.4)",
+    )
+    model, split_only = rows
+    assert model["queue_splits"] <= split_only["queue_splits"]

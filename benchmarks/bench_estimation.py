@@ -1,0 +1,54 @@
+"""Estimation study — uniform (Eq. 3) vs histogram density model.
+
+The paper's future-work item ("new strategies for estimating the
+maximum distances ... for non-uniform data sets"), implemented as a
+grid-histogram effective density (see repro.core.estimation).  Reports
+estimate accuracy against the true Dmax at several k, and AM-KDJ's cost
+under each estimator.
+"""
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.core.estimation import initial_edmax, rho_for_trees
+from repro.workloads.experiments import scaled_ks
+
+
+def test_estimation_accuracy(benchmark, setup, report):
+    def run():
+        uniform_rho = rho_for_trees(setup.tree_r, setup.tree_s, "uniform")
+        hist_rho = rho_for_trees(setup.tree_r, setup.tree_s, "histogram")
+        rows = []
+        for k in [k for k in scaled_ks() if k >= 1000]:
+            dmax = setup.true_dmax(k)
+            row = {
+                "k": k,
+                "true_dmax": dmax,
+                "eq3_estimate": initial_edmax(k, uniform_rho),
+                "histogram_estimate": initial_edmax(k, hist_rho),
+            }
+            if dmax > 0:
+                row["eq3_ratio"] = row["eq3_estimate"] / dmax
+                row["hist_ratio"] = row["histogram_estimate"] / dmax
+            rows.append(row)
+        for name, rho in (("eq.3 uniform", None), ("histogram", hist_rho)):
+            runner = JoinRunner(setup.tree_r, setup.tree_s, JoinConfig(rho=rho))
+            s = runner.kdj(scaled_ks()[-1], "amkdj").stats
+            rows.append(
+                {
+                    "k": s.k,
+                    "estimator": name,
+                    "dist_comps": s.real_distance_computations,
+                    "queue_insertions": s.queue_insertions,
+                    "response_time_s": s.response_time,
+                    "compensation": s.compensation_stages,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "estimation_accuracy",
+        rows,
+        "Estimation study: Eq.3 vs histogram density model (future work)",
+    )
+    accuracy = [r for r in rows if "hist_ratio" in r]
+    assert accuracy, "no k with positive true Dmax — dataset degenerate"

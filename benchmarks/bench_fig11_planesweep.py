@@ -1,0 +1,25 @@
+"""Figure 11 — improvement from the optimized plane sweep.
+
+B-KDJ with sweeping-axis and sweeping-direction selection versus B-KDJ
+with the sweep fixed to the x axis, forward direction.  The y axis is
+total (axis + real) distance computations, as in the paper.
+
+Expected shape: the optimization reduces total distance computations at
+every k (the paper measured up to ~20%).
+"""
+
+from repro.workloads.experiments import experiment_fig11_planesweep
+
+
+def test_fig11_optimized_planesweep(benchmark, setup, report):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig11_planesweep(setup), rounds=1, iterations=1
+    )
+    report(
+        "fig11_planesweep",
+        rows,
+        "Figure 11: optimized plane sweep vs fixed x-axis forward sweep (B-KDJ)",
+    )
+    for row in rows:
+        assert row["total_comps_optimized"] <= row["total_comps_fixed"], row
+    assert any(row["improvement_pct"] > 1.0 for row in rows)

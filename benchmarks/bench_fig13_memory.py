@@ -1,0 +1,40 @@
+"""Figure 13 — impact of memory size.
+
+Response time at the maximum k while the in-memory queue portion and the
+R-tree buffer sweep 64 KB .. 1024 KB (the paper's range).
+
+Expected shape: every algorithm improves with memory; the proposed
+B-KDJ and AM-KDJ stay consistently faster than HS-KDJ across the range.
+"""
+
+from repro.workloads.experiments import experiment_fig13_memory
+
+COLUMNS = ["memory_kb", "algorithm", "response_time_s", "queue_insertions",
+           "node_accesses", "wall_time_s"]
+
+
+def test_fig13_memory(benchmark, setup, report):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig13_memory(setup), rounds=1, iterations=1
+    )
+    report(
+        "fig13_memory",
+        rows,
+        "Figure 13: response time vs queue/buffer memory (64 KB - 1024 KB)",
+        columns=COLUMNS,
+        charts=[
+            dict(x="memory_kb", y="response_time_s", series="algorithm",
+                 log_x=True, title="response time vs memory"),
+        ],
+    )
+    by_key = {(r["memory_kb"], r["algorithm"]): r for r in rows}
+    sizes = sorted({r["memory_kb"] for r in rows})
+    for algorithm in ("hs-kdj", "bkdj", "amkdj"):
+        small = by_key[(sizes[0], algorithm)]["response_time_s"]
+        large = by_key[(sizes[-1], algorithm)]["response_time_s"]
+        assert large <= small, f"{algorithm} did not improve with memory"
+    for size in sizes:
+        assert (
+            by_key[(size, "amkdj")]["response_time_s"]
+            <= by_key[(size, "hs-kdj")]["response_time_s"]
+        )

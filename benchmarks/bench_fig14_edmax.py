@@ -1,0 +1,46 @@
+"""Figure 14 — impact of eDmax estimation accuracy on AM-KDJ.
+
+AM-KDJ's three metrics as the forced eDmax sweeps 0.1x .. 10x the true
+Dmax at the maximum k, plus the Equation (3)-estimated row and the
+B-KDJ reference.
+
+Expected shape: performance is best near eDmax = Dmax; overestimates
+converge to B-KDJ (never worse); underestimates pay a bounded
+compensation cost (the paper: under twice B-KDJ's work) — AM-KDJ beats
+or matches B-KDJ across the whole sweep.
+"""
+
+from repro.workloads.experiments import experiment_fig14_edmax
+
+COLUMNS = ["edmax_factor", "algorithm", "dist_comps", "queue_insertions",
+           "response_time_s", "compensation", "wall_time_s"]
+
+
+def test_fig14_edmax_accuracy(benchmark, setup, report):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig14_edmax(setup), rounds=1, iterations=1
+    )
+    report(
+        "fig14_edmax",
+        rows,
+        "Figure 14: AM-KDJ vs eDmax accuracy (x true Dmax); B-KDJ reference last",
+        columns=COLUMNS,
+        charts=[
+            dict(x="edmax_factor", y="dist_comps", series="algorithm",
+                 log_x=True, title="(a) distance computations vs eDmax factor"),
+            dict(x="edmax_factor", y="response_time_s", series="algorithm",
+                 log_x=True, title="(c) response time vs eDmax factor"),
+        ],
+    )
+    reference = next(r for r in rows if r["algorithm"] == "bkdj")
+    sweep = [r for r in rows if r["algorithm"] == "amkdj"]
+    for row in sweep:
+        assert row["dist_comps"] <= 2.2 * reference["dist_comps"], row
+        if row["edmax_factor"] < 1.0:
+            assert row["compensation"] == 1, "underestimate must compensate"
+        if row["edmax_factor"] >= 1.0:
+            assert row["compensation"] == 0
+            assert row["dist_comps"] <= reference["dist_comps"]
+    largest = max(sweep, key=lambda r: r["edmax_factor"])
+    # Far overestimates converge to B-KDJ's behavior.
+    assert largest["dist_comps"] <= reference["dist_comps"]

@@ -1,0 +1,45 @@
+"""Figure 15 — stepwise incremental execution.
+
+Users repeatedly request the next 10% of the final result set until the
+maximum k is reached.  Four series: HS-IDJ; AM-IDJ with Equation (3)
+estimates; AM-IDJ fed the *real* per-batch Dmax values as its stage
+schedule; and SJ-SORT restarted from scratch at every milestone
+(cumulative cost, the paper's Figure 15 protocol).
+
+Expected shape: both AM-IDJ variants beat HS-IDJ throughout; AM-IDJ
+with estimates compensates only occasionally (overestimation), while the
+real-Dmax variant compensates at every batch boundary and pays for it;
+SJ-SORT's cumulative cost grows super-linearly with the batch count.
+"""
+
+from repro.workloads.experiments import experiment_fig15_stepwise
+
+
+def test_fig15_stepwise(benchmark, setup, report):
+    rows = benchmark.pedantic(
+        lambda: experiment_fig15_stepwise(setup), rounds=1, iterations=1
+    )
+    report(
+        "fig15_stepwise",
+        rows,
+        "Figure 15: cumulative response time per 10%-batch of results",
+        charts=[
+            dict(x="pairs", y="cumulative_response_s", series="series",
+                 title="cumulative response time vs pairs produced"),
+        ],
+    )
+    final = {
+        row["series"]: row["cumulative_response_s"]
+        for row in rows
+        if row["pairs"] == max(r["pairs"] for r in rows)
+    }
+    assert final["am-idj (estimated)"] < final["hs-idj"]
+    assert final["am-idj (real dmax)"] < final["hs-idj"]
+    stages = {
+        row["series"]: row["stages"]
+        for row in rows
+        if row["pairs"] == max(r["pairs"] for r in rows) and "am-idj" in row["series"]
+    }
+    # The real-Dmax schedule exhausts its cutoff at every batch boundary,
+    # so it needs at least as many compensation stages as the estimates.
+    assert stages["am-idj (real dmax)"] >= stages["am-idj (estimated)"]

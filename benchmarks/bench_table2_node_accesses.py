@@ -1,0 +1,42 @@
+"""Table 2 — R-tree node accesses for k-distance joins.
+
+Each cell is "buffered fetches (unbuffered accesses)", exactly the
+paper's layout: the parenthesized number is what the algorithm would
+fetch with no R-tree buffer at all.
+
+Expected shape: HS-KDJ's unbuffered accesses dwarf the bidirectional
+algorithms' (the uni-directional expansion refetches nodes constantly)
+and grow steeply with k, while B-KDJ and AM-KDJ report *identical*
+counts (compensation re-reads nothing) and stay nearly flat; at small k
+HS's buffered count can dip *below* B-KDJ — the same inversion as the
+paper's k=100 column.
+"""
+
+from repro.workloads.experiments import experiment_table2_node_accesses
+
+
+def test_table2_node_accesses(benchmark, setup, report):
+    rows = benchmark.pedantic(
+        lambda: experiment_table2_node_accesses(setup), rounds=1, iterations=1
+    )
+    report(
+        "table2_node_accesses",
+        rows,
+        "Table 2: R-tree node accesses, buffered (unbuffered), 512 KB buffer",
+    )
+
+    def unbuffered(cell: str) -> int:
+        return int(cell.split("(")[1].rstrip(")").replace(",", ""))
+
+    for row in rows:
+        # B-KDJ == AM-KDJ in the paper.  With thousands of distance-0
+        # ties (small k on this dataset) heap tie-ordering perturbs which
+        # equal-distance node pairs get expanded before the k-th result,
+        # so require near-equality, and strict <= for AM.
+        b, am = unbuffered(row["bkdj"]), unbuffered(row["amkdj"])
+        assert am <= b, row
+        if setup.true_dmax(row["k"]) > 0:
+            assert b - am <= max(0.02 * b, 2), row
+
+    last = rows[-1]
+    assert unbuffered(last["hs"]) > 2 * unbuffered(last["bkdj"])

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment driver once (pytest-benchmark's ``pedantic``
+mode, one round — these are end-to-end experiments, not microbenchmarks),
+prints the paper-shaped table, and writes it to
+``benchmarks/results/<name>.txt`` for the EXPERIMENTS.md record.
+
+Dataset scale is controlled with ``REPRO_SCALE`` (default 1.0 = 60,000 x
+20,000 objects, the paper at one-tenth scale).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads.experiments import ExperimentSetup, make_setup
+from repro.workloads.plots import ascii_chart
+from repro.workloads.tables import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """The TIGER-substitute dataset, built once per benchmark session."""
+    return make_setup()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints a table (plus optional ASCII charts of the
+    figure's panels) and persists everything under results/."""
+
+    def _report(
+        name: str,
+        rows: list[dict],
+        title: str,
+        columns=None,
+        charts: list[dict] | None = None,
+    ) -> None:
+        parts = [format_table(rows, columns=columns, title=title)]
+        for spec in charts or []:
+            parts.append("")
+            parts.append(ascii_chart(rows, **spec))
+        text = "\n".join(parts)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _report

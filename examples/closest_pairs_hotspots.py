@@ -1,0 +1,48 @@
+"""Self-join and k-NN: congestion hotspots within one dataset.
+
+Two extension features working together:
+
+- ``k_self_distance_join`` finds the closest *distinct* pairs inside a
+  single dataset (here: delivery depots that crowd each other — merge
+  candidates);
+- ``RTree.nearest`` answers point k-NN queries (here: which depots
+  serve a customer location).
+
+Run:  python examples/closest_pairs_hotspots.py
+"""
+
+import random
+
+from repro import RTree, Rect, k_self_distance_join
+
+
+def main() -> None:
+    rng = random.Random(11)
+    # Depots concentrate around a few logistics hubs.
+    hubs = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(5)]
+    depots = []
+    for i in range(1_500):
+        hx, hy = hubs[rng.randrange(len(hubs))]
+        depots.append(
+            (Rect.from_point(rng.gauss(hx, 6.0), rng.gauss(hy, 6.0)), i)
+        )
+    index = RTree.bulk_load(depots)
+
+    print("Top 10 depot pairs that crowd each other (merge candidates):")
+    crowding = k_self_distance_join(index, k=10)
+    for rank, pair in enumerate(crowding.results, start=1):
+        print(f"  {rank:2d}. depot #{pair.ref_r:<5d} and depot #{pair.ref_s:<5d}"
+              f"  only {pair.distance:.4f} apart")
+    s = crowding.stats
+    print(f"  [{s.algorithm}: {s.real_distance_computations:,} distance "
+          f"computations for {len(depots) * (len(depots) - 1) // 2:,} "
+          "possible pairs]\n")
+
+    customer = (42.0, 58.0)
+    print(f"Five depots nearest to customer at {customer}:")
+    for distance, depot in index.nearest(*customer, k=5):
+        print(f"  depot #{depot:<5d} at distance {distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""GIS workload: nearest street/water pairs on the TIGER-like dataset.
+
+Reproduces the paper's evaluation scenario in miniature — streets joined
+against hydrography — and compares all four k-distance-join algorithms
+on the paper's three metrics, demonstrating how to read the per-run
+statistics.
+
+Run:  python examples/gis_street_hydro.py
+"""
+
+from repro import JoinConfig, JoinRunner, RTree
+from repro.datagen import synthetic_tiger
+from repro.workloads.tables import print_table
+
+
+def main() -> None:
+    print("generating synthetic TIGER-like data (streets x hydrography)...")
+    data = synthetic_tiger(n_streets=20_000, n_hydro=7_000)
+    streets = RTree.bulk_load(data.streets)
+    hydro = RTree.bulk_load(data.hydro)
+    print(f"  streets: {streets.size:,} objects, {streets.node_count():,} nodes, "
+          f"height {streets.height}")
+    print(f"  hydro:   {hydro.size:,} objects, {hydro.node_count():,} nodes, "
+          f"height {hydro.height}")
+
+    k = 2_000
+    runner = JoinRunner(streets, hydro, JoinConfig())
+    rows = []
+    for algorithm in ("hs", "bkdj", "amkdj", "sjsort"):
+        result = runner.kdj(k, algorithm)
+        s = result.stats
+        rows.append(
+            {
+                "algorithm": s.algorithm,
+                "dist comps": s.real_distance_computations,
+                "queue ins": s.queue_insertions,
+                "node accesses": s.node_accesses,
+                "response (s)": round(s.response_time, 2),
+                "wall (s)": round(s.wall_time, 2),
+            }
+        )
+        farthest = result.results[-1]
+        print(f"  {algorithm}: k-th pair = street #{farthest.ref_r} / "
+              f"hydro #{farthest.ref_s} at distance {farthest.distance:.2f}")
+
+    print_table(rows, title=f"\n{k} nearest street-water pairs, four algorithms")
+    print("\nAll four produce identical results; AM-KDJ does the least work "
+          "among the index-driven algorithms (the paper's Figure 10).")
+
+
+if __name__ == "__main__":
+    main()

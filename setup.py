@@ -1,0 +1,8 @@
+"""Legacy setup shim so editable installs work offline (no wheel package).
+
+All project metadata lives in pyproject.toml; setuptools reads it.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate`` — synthesize the TIGER-like dataset and save both R*-tree
+  indexes to disk;
+- ``join`` — run a k-distance join between two saved indexes with any of
+  the four algorithms and print results plus the paper's metrics;
+- ``experiment`` — regenerate one of the paper's tables/figures.
+
+Example session::
+
+    python -m repro generate --streets 20000 --hydro 7000 --out /tmp/az
+    python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 100 -a amkdj
+    python -m repro experiment fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import JoinConfig, JoinRunner, RTree
+from repro.datagen.tiger import synthetic_tiger
+from repro.workloads import experiments
+from repro.workloads.tables import print_table
+
+EXPERIMENTS = {
+    "fig10": experiments.experiment_fig10_kdj,
+    "table2": experiments.experiment_table2_node_accesses,
+    "fig11": experiments.experiment_fig11_planesweep,
+    "fig12": experiments.experiment_fig12_idj,
+    "fig13": experiments.experiment_fig13_memory,
+    "fig14": experiments.experiment_fig14_edmax,
+    "fig15": experiments.experiment_fig15_stepwise,
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    print(f"generating {args.streets:,} streets x {args.hydro:,} hydro objects "
+          f"(seed {args.seed})...")
+    data = synthetic_tiger(n_streets=args.streets, n_hydro=args.hydro,
+                           seed=args.seed)
+    for name, items in (("streets", data.streets), ("hydro", data.hydro)):
+        tree = RTree.bulk_load(items, page_size=args.page_size)
+        path = out / f"{name}.rt"
+        tree.save(path)
+        print(f"  {path}: {tree.size:,} objects, {tree.node_count():,} nodes, "
+              f"height {tree.height}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    tree_r = RTree.load(args.tree_r)
+    tree_s = RTree.load(args.tree_s)
+    config = JoinConfig(
+        queue_memory=args.queue_kb * 1024,
+        buffer_memory=args.buffer_kb * 1024,
+    )
+    runner = JoinRunner(tree_r, tree_s, config)
+    result = runner.kdj(args.k, args.algorithm)
+    shown = result.results[: args.show]
+    for rank, pair in enumerate(shown, start=1):
+        print(f"{rank:6d}.  r#{pair.ref_r:<8d} s#{pair.ref_s:<8d} "
+              f"distance {pair.distance:.4f}")
+    if len(result) > len(shown):
+        print(f"... and {len(result) - len(shown):,} more")
+    s = result.stats
+    print(f"\n[{s.algorithm}] distance computations: "
+          f"{s.real_distance_computations:,} | queue insertions: "
+          f"{s.queue_insertions:,} | node accesses: {s.node_accesses:,} "
+          f"({s.node_accesses_unbuffered:,} unbuffered) | response: "
+          f"{s.response_time:.3f}s simulated, {s.wall_time:.3f}s wall")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.name]
+    setup = experiments.make_setup()
+    rows = driver(setup)
+    print_table(rows, title=f"experiment {args.name} on {setup.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive multi-stage spatial distance joins (SIGMOD 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize data and build indexes")
+    gen.add_argument("--streets", type=int, default=60_000)
+    gen.add_argument("--hydro", type=int, default=20_000)
+    gen.add_argument("--seed", type=int, default=1997)
+    gen.add_argument("--page-size", type=int, default=4096)
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.set_defaults(func=_cmd_generate)
+
+    join = sub.add_parser("join", help="k-distance join between saved indexes")
+    join.add_argument("tree_r", help="path of the R-side index file")
+    join.add_argument("tree_s", help="path of the S-side index file")
+    join.add_argument("-k", type=int, default=10, help="stopping cardinality")
+    join.add_argument(
+        "-a", "--algorithm", default="amkdj",
+        choices=["hs", "bkdj", "amkdj", "sjsort", "nlj"],
+    )
+    join.add_argument("--queue-kb", type=int, default=512)
+    join.add_argument("--buffer-kb", type=int, default=512)
+    join.add_argument("--show", type=int, default=20,
+                      help="result rows to print")
+    join.set_defaults(func=_cmd_join)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

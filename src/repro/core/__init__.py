@@ -1,0 +1,35 @@
+"""Distance join algorithms — the paper's primary contribution.
+
+Public API (also re-exported from :mod:`repro`):
+
+- :func:`~repro.core.api.k_distance_join` — the k nearest pairs, with
+  ``algorithm`` in ``{"hs", "bkdj", "amkdj", "sjsort"}``;
+- :func:`~repro.core.api.incremental_distance_join` — an iterator of
+  pairs in increasing distance order, ``algorithm`` in ``{"hs", "amidj"}``;
+- :class:`~repro.core.api.JoinRunner` — explicit-configuration runner
+  exposing per-run statistics (the paper's metrics);
+- :class:`~repro.core.stats.JoinStats` — the metric bundle.
+"""
+
+from repro.core.api import (
+    JoinConfig,
+    JoinResult,
+    JoinRunner,
+    incremental_distance_join,
+    k_distance_join,
+    k_self_distance_join,
+)
+from repro.core.pairs import Item, ResultPair
+from repro.core.stats import JoinStats
+
+__all__ = [
+    "Item",
+    "JoinConfig",
+    "JoinResult",
+    "JoinRunner",
+    "JoinStats",
+    "ResultPair",
+    "incremental_distance_join",
+    "k_distance_join",
+    "k_self_distance_join",
+]

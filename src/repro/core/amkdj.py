@@ -1,0 +1,192 @@
+"""AM-KDJ: adaptive multi-stage k-distance join (Algorithms 2 and 3).
+
+Two stages:
+
+1. **Aggressive pruning** — the plane sweep's axis scan is bounded by the
+   *estimated* cutoff ``eDmax`` (Equation 3 unless the caller overrides
+   it), which is typically far tighter than the safe ``qDmax`` early in
+   the run and thereby kills the slow-start problem.  Real distances are
+   still filtered with ``qDmax`` only, so every pruned-but-needed pair is
+   attributable to the axis bound — and the pair that was being expanded
+   is recorded in the compensation queue with per-anchor resume
+   positions.  Whenever ``qDmax`` drops to or below ``eDmax`` the
+   estimate is replaced by the safe bound (the paper's line 8) and the
+   algorithm degenerates gracefully into B-KDJ.
+2. **Compensation** (only when stage one ends with fewer than k results
+   because a dequeued pair's distance exceeded the aggressive cutoff) —
+   recorded pairs re-enter the main queue keyed by their pair distance;
+   when dequeued, only the child pairs their stage-one sweep *skipped*
+   are examined, under ``qDmax``.
+
+Correctness note (documented in DESIGN.md): the paper's printed line 9
+terminates stage one when ``c.distance < eDmax``, which would fire on the
+very first dequeue; the prose makes clear the intended trigger is
+``c.distance > eDmax`` — everything within the aggressive cutoff has been
+produced, so remaining answers may have been pruned.  We additionally
+track the minimum *unsafe* cutoff ever used for axis pruning (an
+expansion whose ``eDmax`` was at or above the then-current ``qDmax`` was
+safe and needs no compensation), which keeps the algorithm correct under
+adaptive re-estimation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import estimation
+from repro.core.base import JoinContext
+from repro.core.pairs import Item, PairPayload, ResultPair
+from repro.core.planesweep import PlaneSweeper
+from repro.core.stats import JoinStats
+from repro.queues.compensation import CompensationQueue
+from repro.queues.distance_queue import DistanceQueue
+
+
+def amkdj(
+    ctx: JoinContext,
+    k: int,
+    edmax: float | None = None,
+    adaptive: bool = False,
+) -> tuple[list[ResultPair], JoinStats]:
+    """Run AM-KDJ and return the k nearest pairs with run metrics.
+
+    Parameters
+    ----------
+    ctx:
+        Fresh join context.
+    k:
+        Stopping cardinality.
+    edmax:
+        Override for the initial estimated cutoff (Figure 14 sweeps
+        this); default is Equation (3) on the context's ``rho``.
+    adaptive:
+        Re-estimate ``eDmax`` with Section 4.3.2's corrections at the
+        25/50/75% result milestones.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    results: list[ResultPair] = []
+    roots = ctx.root_items()
+    if roots is None:
+        return results, ctx.make_stats("amkdj", k, 0)
+
+    queue = ctx.main_queue
+    distance_queue = DistanceQueue(k)
+    comp_queue: CompensationQueue = CompensationQueue()
+    sweeper = PlaneSweeper(
+        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
+    )
+
+    edmax_value = ctx.initial_edmax(k) if edmax is None else edmax
+    initial_edmax = edmax_value
+    min_unsafe_cutoff = math.inf
+    next_milestone = max(k // 4, 1) if adaptive else k + 1
+
+    def qdmax() -> float:
+        return distance_queue.cutoff
+
+    def emit(item_r: Item, item_s: Item, real: float) -> None:
+        pair = PairPayload(item_r, item_s)
+        queue.insert(real, pair)
+        if pair.is_object_pair:
+            distance_queue.insert(real)
+        elif ctx.options.distance_queue_all_pairs:
+            distance_queue.insert(item_r.rect.max_dist(item_s.rect))
+
+    root_r, root_s = roots
+    queue.insert(
+        ctx.instr.real_distance(root_r.rect, root_s.rect),
+        PairPayload(root_r, root_s),
+    )
+
+    # ------------------------------------------------------------------
+    # Stage one: aggressive pruning (Algorithm 2)
+    # ------------------------------------------------------------------
+    need_compensation = False
+    while len(results) < k and queue:
+        distance, payload = queue.pop()
+        if distance > min_unsafe_cutoff:
+            # Line 9 (corrected): anything at this distance — including an
+            # object pair, which enters the queue under qDmax rather than
+            # eDmax — may be preceded by a pruned pair; switch to the
+            # compensation stage before producing it.
+            queue.insert(distance, payload)
+            need_compensation = True
+            break
+        if payload.is_object_pair:
+            results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            if adaptive and len(results) >= next_milestone and len(results) < k:
+                edmax_value = min(
+                    _re_estimate(ctx, len(results), k, distance), qdmax()
+                )
+                next_milestone += max(k // 4, 1)
+            continue
+        safe_bound = qdmax()
+        if safe_bound <= edmax_value:
+            edmax_value = safe_bound  # line 8: the estimate is now moot
+        if edmax_value < safe_bound:
+            min_unsafe_cutoff = min(min_unsafe_cutoff, edmax_value)
+        cutoff_now = edmax_value
+        record = sweeper.expand(
+            payload.a,
+            payload.b,
+            ctx.children_r(payload.a),
+            ctx.children_s(payload.b),
+            axis_limit=lambda: cutoff_now,
+            real_limit=qdmax,
+            emit=emit,
+            keep_record=True,
+            pair_distance=distance,
+            record_real_cutoff=None,  # real pruning used qDmax: safe
+        )
+        assert record is not None
+        comp_queue.enqueue(record)
+
+    # ------------------------------------------------------------------
+    # Stage two: compensation (Algorithm 3)
+    # ------------------------------------------------------------------
+    stages = 0
+    if need_compensation or (len(results) < k and comp_queue):
+        stages = 1
+        for record in comp_queue.drain():
+            queue.insert(record.distance, PairPayload(record.a, record.b, record))
+        while len(results) < k and queue:
+            distance, payload = queue.pop()
+            if payload.is_object_pair:
+                results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+                continue
+            if payload.record is not None:
+                # The record kept the child lists sorted in stage one, so
+                # compensation needs no node refetch and no re-sort —
+                # this is why Table 2 reports identical node-access
+                # counts for AM-KDJ and B-KDJ.
+                sweeper.compensate(
+                    payload.record,
+                    axis_limit=qdmax,
+                    real_limit=qdmax,
+                    emit=emit,
+                )
+            else:
+                sweeper.expand(
+                    payload.a,
+                    payload.b,
+                    ctx.children_r(payload.a),
+                    ctx.children_s(payload.b),
+                    axis_limit=qdmax,
+                    real_limit=qdmax,
+                    emit=emit,
+                )
+
+    stats = ctx.make_stats("amkdj", k, len(results))
+    stats.distance_queue_insertions = distance_queue.insertions
+    stats.compensation_stages = stages
+    stats.compensation_peak = comp_queue.peak_size
+    stats.edmax_initial = initial_edmax
+    return results, stats
+
+
+def _re_estimate(ctx: JoinContext, k0: int, k: int, dmax_k0: float) -> float:
+    """Section 4.3.2 correction at a milestone, aggressive flavor."""
+    if ctx.rho is None:
+        return math.inf
+    return estimation.corrected_edmax(dmax_k0, k0, k, ctx.rho, aggressive=True)

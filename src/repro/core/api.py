@@ -1,0 +1,298 @@
+"""Public API for spatial distance joins.
+
+Typical usage::
+
+    from repro import RTree, k_distance_join
+    tree_r = RTree.bulk_load(hotel_rects)
+    tree_s = RTree.bulk_load(restaurant_rects)
+    result = k_distance_join(tree_r, tree_s, k=10)          # AM-KDJ
+    for distance, hotel_id, restaurant_id in result.results:
+        ...
+
+    from repro import incremental_distance_join
+    stream = incremental_distance_join(tree_r, tree_s)      # AM-IDJ
+    first_batch = stream.next_batch(100)
+    more = stream.next_batch(100)       # keeps going, no preset k
+
+Every run executes on a fresh simulated environment (disk clock, buffer
+pools, queues), so ``result.stats`` carries the paper's metrics for that
+run alone.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.core import amidj as amidj_mod
+from repro.core import amkdj as amkdj_mod
+from repro.core import bkdj as bkdj_mod
+from repro.core import hs as hs_mod
+from repro.core import sjsort as sjsort_mod
+from repro.core.base import EngineOptions, JoinContext
+from repro.core.pairs import ResultPair
+from repro.core.stats import JoinStats
+from repro.rtree.tree import RTree
+from repro.storage.cost import (
+    CostModel,
+    DEFAULT_BUFFER_MEMORY,
+    DEFAULT_QUEUE_MEMORY,
+)
+
+KDJ_ALGORITHMS = ("hs", "bkdj", "amkdj", "sjsort", "nlj")
+IDJ_ALGORITHMS = ("hs", "amidj")
+
+
+@dataclass(frozen=True, slots=True)
+class JoinConfig:
+    """Configuration shared by all runs of a :class:`JoinRunner`.
+
+    Attributes mirror the paper's experimental knobs: queue memory and
+    R-tree buffer sizes (512 KB defaults), the plane-sweep optimizations,
+    the eDmax override for Figure 14, and the cost model.
+    """
+
+    queue_memory: int = DEFAULT_QUEUE_MEMORY
+    buffer_memory: int = DEFAULT_BUFFER_MEMORY
+    cost_model: CostModel | None = None
+    rho: float | None = None
+    optimize_axis: bool = True
+    optimize_direction: bool = True
+    distance_queue_all_pairs: bool = False
+    expansion_policy: str = "level"
+    hs_insert_pruning: bool = True
+    edmax: float | None = None
+    adaptive_edmax: bool = False
+    model_queue_boundaries: bool = True
+    spill_dir: str | None = None
+    initial_k: int = 1000
+    edmax_schedule: tuple[float, ...] | None = None
+
+    def engine_options(self) -> EngineOptions:
+        return EngineOptions(
+            optimize_axis=self.optimize_axis,
+            optimize_direction=self.optimize_direction,
+            distance_queue_all_pairs=self.distance_queue_all_pairs,
+            expansion_policy=self.expansion_policy,
+            hs_insert_pruning=self.hs_insert_pruning,
+        )
+
+
+@dataclass(slots=True)
+class JoinResult:
+    """Results plus the metric snapshot of the run that produced them."""
+
+    results: list[ResultPair]
+    stats: JoinStats
+
+    @property
+    def distances(self) -> list[float]:
+        return [pair.distance for pair in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ResultPair]:
+        return iter(self.results)
+
+
+class JoinRunner:
+    """Runs distance joins between two indexed datasets.
+
+    A runner is cheap; it holds the trees and configuration, and builds a
+    fresh :class:`~repro.core.base.JoinContext` per run.
+    """
+
+    def __init__(
+        self, tree_r: RTree, tree_s: RTree, config: JoinConfig | None = None
+    ) -> None:
+        self.tree_r = tree_r
+        self.tree_s = tree_s
+        self.config = config or JoinConfig()
+
+    # ------------------------------------------------------------------
+
+    def _context(self) -> JoinContext:
+        cfg = self.config
+        return JoinContext(
+            self.tree_r,
+            self.tree_s,
+            queue_memory=cfg.queue_memory,
+            buffer_memory=cfg.buffer_memory,
+            cost_model=cfg.cost_model,
+            rho=cfg.rho,
+            options=cfg.engine_options(),
+            model_queue_boundaries=cfg.model_queue_boundaries,
+            spill_dir=cfg.spill_dir,
+        )
+
+    # ------------------------------------------------------------------
+
+    def kdj(self, k: int, algorithm: str = "amkdj", dmax: float | None = None) -> JoinResult:
+        """k-distance join with the chosen algorithm.
+
+        ``dmax`` is only consulted by ``sjsort`` (its favorable a-priori
+        cutoff); when omitted it is computed by the exact oracle.
+        """
+        if algorithm not in KDJ_ALGORITHMS:
+            raise ValueError(
+                f"unknown KDJ algorithm {algorithm!r}; pick one of {KDJ_ALGORITHMS}"
+            )
+        ctx = self._context()
+        started = time.perf_counter()
+        if algorithm == "hs":
+            results, stats = hs_mod.hs_kdj(ctx, k)
+        elif algorithm == "bkdj":
+            results, stats = bkdj_mod.bkdj(ctx, k)
+        elif algorithm == "amkdj":
+            results, stats = amkdj_mod.amkdj(
+                ctx, k, edmax=self.config.edmax, adaptive=self.config.adaptive_edmax
+            )
+        elif algorithm == "nlj":
+            from repro.core import nested_loop
+
+            results, stats = nested_loop.nested_loop_kdj(ctx, k)
+        else:
+            cutoff = dmax if dmax is not None else self.true_dmax(k)
+            results, stats = sjsort_mod.sj_sort(ctx, k, cutoff)
+        stats.wall_time = time.perf_counter() - started
+        return JoinResult(results, stats)
+
+    def idj(self, algorithm: str = "amidj") -> "IncrementalJoin":
+        """Incremental distance join stream with the chosen algorithm."""
+        if algorithm not in IDJ_ALGORITHMS:
+            raise ValueError(
+                f"unknown IDJ algorithm {algorithm!r}; pick one of {IDJ_ALGORITHMS}"
+            )
+        ctx = self._context()
+        if algorithm == "hs":
+            generator = hs_mod.hs_idj(ctx)
+            name = "hs-idj"
+            state = None
+        else:
+            state = amidj_mod.AMIDJState()
+            schedule = (
+                list(self.config.edmax_schedule)
+                if self.config.edmax_schedule is not None
+                else None
+            )
+            generator = amidj_mod.amidj(
+                ctx,
+                initial_k=self.config.initial_k,
+                edmax_schedule=schedule,
+                state=state,
+            )
+            name = "am-idj"
+        return IncrementalJoin(ctx, generator, name, state)
+
+    # ------------------------------------------------------------------
+
+    def true_dmax(self, k: int) -> float:
+        """Exact k-th pair distance, via an uncharged oracle run (B-KDJ)."""
+        ctx = self._context()
+        results, _ = bkdj_mod.bkdj(ctx, k)
+        if not results:
+            return 0.0
+        return results[-1].distance
+
+
+class IncrementalJoin:
+    """A pull-based incremental join with live metric snapshots."""
+
+    def __init__(
+        self,
+        ctx: JoinContext,
+        generator: Iterator[ResultPair],
+        name: str,
+        state: "amidj_mod.AMIDJState | None",
+    ) -> None:
+        self._ctx = ctx
+        self._generator = generator
+        self._name = name
+        self._state = state
+        self._produced = 0
+        self._started = time.perf_counter()
+
+    def __iter__(self) -> Iterator[ResultPair]:
+        for pair in self._generator:
+            self._produced += 1
+            yield pair
+
+    def next_batch(self, n: int) -> list[ResultPair]:
+        """Pull up to ``n`` further results (fewer only at exhaustion)."""
+        batch: list[ResultPair] = []
+        for pair in self._generator:
+            batch.append(pair)
+            if len(batch) == n:
+                break
+        self._produced += len(batch)
+        return batch
+
+    def stats(self) -> JoinStats:
+        """Metric snapshot covering everything pulled so far."""
+        stats = self._ctx.make_stats(self._name, self._produced, self._produced)
+        stats.wall_time = time.perf_counter() - self._started
+        if self._state is not None:
+            stats.compensation_stages = self._state.compensations
+            stats.compensation_peak = self._state.comp_records_peak
+            stats.edmax_initial = self._state.edmax
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Convenience functions
+# ----------------------------------------------------------------------
+
+
+def k_distance_join(
+    tree_r: RTree,
+    tree_s: RTree,
+    k: int,
+    algorithm: str = "amkdj",
+    config: JoinConfig | None = None,
+    dmax: float | None = None,
+) -> JoinResult:
+    """One-shot k nearest pairs of ``tree_r`` x ``tree_s``."""
+    return JoinRunner(tree_r, tree_s, config).kdj(k, algorithm, dmax=dmax)
+
+
+def incremental_distance_join(
+    tree_r: RTree,
+    tree_s: RTree,
+    algorithm: str = "amidj",
+    config: JoinConfig | None = None,
+) -> IncrementalJoin:
+    """Incremental (no preset k) distance join stream."""
+    return JoinRunner(tree_r, tree_s, config).idj(algorithm)
+
+
+def k_self_distance_join(
+    tree: RTree,
+    k: int,
+    algorithm: str = "amidj",
+    config: JoinConfig | None = None,
+) -> JoinResult:
+    """The k closest *distinct* pairs within one dataset.
+
+    A self-join of ``tree`` with itself: identity pairs are excluded and
+    each unordered pair is reported once (``ref_r < ref_s``).  Runs on an
+    incremental engine because each kept pair consumes two stream
+    results (both orderings appear), so the required stream length is
+    not known up front.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    stream = JoinRunner(tree, tree, config).idj(algorithm)
+    results: list[ResultPair] = []
+    for pair in stream:
+        if pair.ref_r < pair.ref_s:
+            results.append(pair)
+            if len(results) == k:
+                break
+    stats = stream.stats()
+    stats.algorithm = f"self-{stats.algorithm}"
+    stats.k = k
+    stats.results = len(results)
+    return JoinResult(results, stats)

@@ -1,0 +1,203 @@
+"""Shared machinery for the join engines.
+
+``JoinContext`` bundles everything one join run needs: the two indexed
+datasets, a fresh simulated disk, metered buffer pools for both trees,
+the hybrid main queue, and the instrumented distance operations.  Every
+engine (HS, B-KDJ, AM-KDJ, AM-IDJ, SJ-SORT) is a function of a context,
+so runs are isolated and their metrics comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core import estimation
+from repro.core.pairs import Item, PairPayload
+from repro.core.stats import Instruments, JoinStats
+from repro.queues.main_queue import MainQueue
+from repro.rtree.tree import RTree, TreeAccessor
+from repro.storage.cost import (
+    CostModel,
+    DEFAULT_BUFFER_MEMORY,
+    DEFAULT_COST_MODEL,
+    DEFAULT_QUEUE_MEMORY,
+)
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(slots=True)
+class EngineOptions:
+    """Tuning knobs shared by the engines.
+
+    Attributes
+    ----------
+    optimize_axis / optimize_direction:
+        The Section 3.2/3.3 plane-sweep optimizations (Figure 11 turns
+        them off).
+    distance_queue_all_pairs:
+        Footnote 1's option (1): also feed *node* pairs (keyed by their
+        maximum distance) to the distance queue.  Default off — the paper
+        chose option (2), object pairs only.
+    expansion_policy:
+        Uni-directional choice for the HS baseline when both sides are
+        nodes.  The default ``"level"`` expands the deeper-rooted side
+        (ties expand R), which guarantees every pair is generated through
+        exactly one descent path — area-based policies can create
+        duplicate queue entries.  Alternatives: ``"larger"`` (area),
+        ``"r"``, ``"s"``, ``"alternate"``.
+    hs_insert_pruning:
+        Whether HS-KDJ filters queue insertions with ``qDmax`` (on, the
+        charitable reading of the baseline) or prunes only at dequeue
+        (off — inflates the queue, closer to the blow-ups the paper
+        reports for previous work).
+    """
+
+    optimize_axis: bool = True
+    optimize_direction: bool = True
+    distance_queue_all_pairs: bool = False
+    expansion_policy: str = "level"
+    hs_insert_pruning: bool = True
+
+
+class JoinContext:
+    """One join run's environment: trees, disk, queues, instrumentation."""
+
+    def __init__(
+        self,
+        tree_r: RTree,
+        tree_s: RTree,
+        queue_memory: int = DEFAULT_QUEUE_MEMORY,
+        buffer_memory: int = DEFAULT_BUFFER_MEMORY,
+        cost_model: CostModel | None = None,
+        rho: float | None = None,
+        options: EngineOptions | None = None,
+        model_queue_boundaries: bool = True,
+        spill_dir: str | None = None,
+    ) -> None:
+        self.tree_r = tree_r
+        self.tree_s = tree_s
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.disk = SimulatedDisk(self.cost_model)
+        # The paper's single R-tree buffer serves both indexes; split it
+        # evenly between the two trees' pools.
+        self.accessor_r = TreeAccessor(tree_r, self.disk, buffer_memory // 2)
+        self.accessor_s = TreeAccessor(tree_s, self.disk, buffer_memory // 2)
+        self.instr = Instruments(self.disk, self.accessor_r, self.accessor_s)
+        self.rho = rho if rho is not None else self.default_rho()
+        self.queue_memory = queue_memory
+        # The Equation (3) density model pre-places the hybrid queue's
+        # segment boundaries; disabling it (the ablation benchmark) makes
+        # the queue fall back to pure split-on-overflow, the scheme the
+        # paper criticizes earlier work for.
+        queue_rho = self.rho if model_queue_boundaries else None
+        self.main_queue = MainQueue(
+            self.disk, queue_memory, rho=queue_rho, spill_dir=spill_dir
+        )
+        self.options = options or EngineOptions()
+
+    # ------------------------------------------------------------------
+    # Dataset model parameters
+    # ------------------------------------------------------------------
+
+    def default_rho(self) -> float | None:
+        """Equation (3)'s density parameter from the dataset bounds."""
+        if self.tree_r.size == 0 or self.tree_s.size == 0:
+            return None
+        return estimation.rho_for_datasets(
+            self.tree_r.bounds(),
+            self.tree_s.bounds(),
+            self.tree_r.size,
+            self.tree_s.size,
+        )
+
+    def initial_edmax(self, k: int) -> float:
+        """Equation (3) estimate for this dataset pair."""
+        if self.rho is None:
+            return math.inf
+        return estimation.initial_edmax(k, self.rho)
+
+    # ------------------------------------------------------------------
+    # Tree access (all metered)
+    # ------------------------------------------------------------------
+
+    def root_items(self) -> tuple[Item, Item] | None:
+        """The two root items, or ``None`` when either dataset is empty."""
+        if self.tree_r.size == 0 or self.tree_s.size == 0:
+            return None
+        root_r = self.accessor_r.root
+        root_s = self.accessor_s.root
+        return (
+            Item.node(root_r.mbr(), root_r.page_id, root_r.level),
+            Item.node(root_s.mbr(), root_s.page_id, root_s.level),
+        )
+
+    def children_r(self, item: Item) -> list[Item]:
+        """Children of an R-side item (the item itself if an object)."""
+        return self._children(item, self.accessor_r)
+
+    def children_s(self, item: Item) -> list[Item]:
+        """Children of an S-side item (the item itself if an object)."""
+        return self._children(item, self.accessor_s)
+
+    def touch_r(self, item: Item) -> None:
+        """Count a (re-)access of an R-side node, e.g. in compensation."""
+        if not item.is_object:
+            self.accessor_r.get(item.ref)
+
+    def touch_s(self, item: Item) -> None:
+        """Count a (re-)access of an S-side node."""
+        if not item.is_object:
+            self.accessor_s.get(item.ref)
+
+    @staticmethod
+    def _children(item: Item, accessor: TreeAccessor) -> list[Item]:
+        if item.is_object:
+            return [item]
+        node = accessor.get(item.ref)
+        if node.is_leaf:
+            return [Item.object(e.rect, e.ref) for e in node.entries]
+        return [Item.node(e.rect, e.ref, node.level - 1) for e in node.entries]
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def make_stats(self, algorithm: str, k: int, results: int) -> JoinStats:
+        """Snapshot the run's counters into a stats record."""
+        stats = JoinStats(algorithm=algorithm, k=k, results=results)
+        self.instr.fill(stats)
+        stats.queue_insertions = self.main_queue.stats.insertions
+        stats.queue_peak_size = self.main_queue.stats.peak_size
+        stats.queue_splits = self.main_queue.stats.splits
+        stats.queue_swap_ins = self.main_queue.stats.swap_ins
+        return stats
+
+
+def pick_expansion_side(a: Item, b: Item, policy: str, flip: bool) -> bool:
+    """Uni-directional expansion choice: True to expand the R side.
+
+    When one side is an object the node side is expanded; otherwise the
+    ``policy`` decides.  ``"level"`` — expand the side at the higher tree
+    level, ties expand R — makes the choice a function of the pair's
+    levels alone, so every pair has exactly one generating parent and no
+    duplicates ever enter the queue.
+    """
+    if a.is_object:
+        return False
+    if b.is_object:
+        return True
+    if policy == "level":
+        return a.level >= b.level
+    if policy == "r":
+        return True
+    if policy == "s":
+        return False
+    if policy == "alternate":
+        return flip
+    return a.rect.area() >= b.rect.area()
+
+
+def queue_payload(a: Item, b: Item) -> PairPayload:
+    """Convenience constructor keeping R-side first."""
+    return PairPayload(a, b)

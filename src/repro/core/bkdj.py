@@ -1,0 +1,67 @@
+"""B-KDJ: k-distance join with bidirectional expansion (Algorithm 1).
+
+Single-stage algorithm: one main queue, one k-bounded distance queue.
+Every dequeued non-object pair is expanded *bidirectionally* — children
+of both nodes, pruned by the optimized plane sweep with the safe cutoff
+``qDmax`` applied both to axis distances (scan termination) and to real
+distances (insertion filter).  Object pairs stream out of the main queue
+in increasing distance order.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import JoinContext
+from repro.core.pairs import Item, PairPayload, ResultPair
+from repro.core.planesweep import PlaneSweeper
+from repro.core.stats import JoinStats
+from repro.queues.distance_queue import DistanceQueue
+
+
+def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
+    """Run Algorithm 1 and return the k nearest pairs with run metrics."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    results: list[ResultPair] = []
+    roots = ctx.root_items()
+    if roots is None:
+        return results, ctx.make_stats("bkdj", k, 0)
+
+    queue = ctx.main_queue
+    distance_queue = DistanceQueue(k)
+    sweeper = PlaneSweeper(
+        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
+    )
+
+    def qdmax() -> float:
+        return distance_queue.cutoff
+
+    def emit(item_r: Item, item_s: Item, real: float) -> None:
+        pair = PairPayload(item_r, item_s)
+        queue.insert(real, pair)
+        if pair.is_object_pair:
+            distance_queue.insert(real)
+        elif ctx.options.distance_queue_all_pairs:
+            distance_queue.insert(item_r.rect.max_dist(item_s.rect))
+
+    root_r, root_s = roots
+    queue.insert(ctx.instr.real_distance(root_r.rect, root_s.rect),
+                 PairPayload(root_r, root_s))
+
+    while len(results) < k and queue:
+        distance, payload = queue.pop()
+        if payload.is_object_pair:
+            results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            continue
+        sweeper.expand(
+            payload.a,
+            payload.b,
+            ctx.children_r(payload.a),
+            ctx.children_s(payload.b),
+            axis_limit=qdmax,
+            real_limit=qdmax,
+            emit=emit,
+        )
+
+    stats = ctx.make_stats("bkdj", k, len(results))
+    stats.distance_queue_insertions = distance_queue.insertions
+    return results, stats

@@ -1,0 +1,68 @@
+"""Items and pairs — what flows through the join queues.
+
+An :class:`Item` is one side of a candidate pair: either an R-tree node
+(identified by its page id and the level it sits at) or a data object
+(a leaf entry: object id plus MBR).  Items carry their rectangle so that
+distance computations never refetch nodes — exactly how a C
+implementation would keep the MBR inside the queue entry.
+
+A queued pair is ``(distance, PairPayload)``; the payload also carries an
+optional compensation record while the adaptive algorithms are at work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.planesweep import ExpansionRecord
+
+#: Level tag for data objects (anything >= 0 is an R-tree node level).
+OBJECT_LEVEL = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Item:
+    """One side of a candidate pair: an R-tree node or a data object."""
+
+    rect: Rect
+    ref: int
+    level: int
+
+    @property
+    def is_object(self) -> bool:
+        return self.level == OBJECT_LEVEL
+
+    @classmethod
+    def object(cls, rect: Rect, oid: int) -> "Item":
+        return cls(rect, oid, OBJECT_LEVEL)
+
+    @classmethod
+    def node(cls, rect: Rect, page_id: int, level: int) -> "Item":
+        if level < 0:
+            raise ValueError("node level must be non-negative")
+        return cls(rect, page_id, level)
+
+
+@dataclass(slots=True)
+class PairPayload:
+    """Queue payload: the two items plus optional compensation state."""
+
+    a: Item
+    b: Item
+    record: "ExpansionRecord | None" = None
+
+    @property
+    def is_object_pair(self) -> bool:
+        return self.a.is_object and self.b.is_object
+
+
+class ResultPair(NamedTuple):
+    """One join result: object ids from R and S and their distance."""
+
+    distance: float
+    ref_r: int
+    ref_s: int

@@ -1,0 +1,497 @@
+"""Optimized plane sweep for bidirectional node expansion (Section 3).
+
+Bidirectional expansion of a node pair is a Cartesian product of the two
+child sets; the plane sweep avoids materializing it.  Children of both
+nodes are sorted along a *sweeping axis*; the node with the smallest
+coordinate becomes the *anchor* and is paired only with nodes of the
+other set whose axis distance is within the cutoff — the scan stops at
+the first node beyond it, which is sound because the axis distance to the
+anchor grows monotonically along the sorted order.
+
+The two novel optimizations are
+
+- **sweeping-axis selection** (Section 3.2): pick the axis with the
+  smaller *sweeping index* — a closed-form estimate of how many pairs the
+  sweep will have to compute real distances for (Equation 2, Table 1);
+- **sweeping-direction selection** (Section 3.3): sweep from the end
+  where the two projections' outer intervals are shorter, so close pairs
+  are discovered first and the cutoff tightens sooner.
+
+Cutoffs are passed as zero-argument callables because they genuinely
+change *during* a sweep: every object pair emitted may tighten ``qDmax``.
+
+This module also implements the per-anchor *resume bookkeeping* the
+adaptive multi-stage algorithms need: an :class:`ExpansionRecord` captures
+the sorted child lists and, for every anchor, where its scan stopped, so a
+compensation stage re-examines only the child pairs the aggressive stage
+skipped (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.pairs import Item
+from repro.core.stats import Instruments
+from repro.geometry.rect import Rect
+
+#: Signature of the pair consumer: (item_from_R, item_from_S, distance).
+EmitFn = Callable[[Item, Item, float], None]
+
+#: A pruning cutoff, re-read whenever it is applied.
+CutoffFn = Callable[[], float]
+
+
+def static_cutoff(value: float) -> CutoffFn:
+    """A cutoff that never changes during the sweep."""
+    return lambda: value
+
+
+# ----------------------------------------------------------------------
+# Sweeping index (Equation 2) — exact piecewise-linear integration
+# ----------------------------------------------------------------------
+
+
+def sweeping_index(r: Rect, s: Rect, axis: int, cutoff: float) -> float:
+    """Equation (2): expected sweep work along ``axis`` for this cutoff.
+
+    Computed by exact integration of the sliding-window overlap, which
+    agrees with the paper's Table 1 closed forms for non-overlapping
+    nodes (verified by unit tests) and also covers the overlapping case.
+
+    One deliberate correction to the printed equation: each integral is
+    normalized by the *sweeping node's* projected length (turning it into
+    the expected fraction of cross pairs examined).  Without that factor
+    the two axes' indexes are not commensurable — the raw integral over a
+    long, fully-overlapped axis exceeds the integral over a short axis
+    even when the long axis prunes vastly better, which contradicts the
+    paper's own Figure 5 motivation.  The footnote-2 description ("a
+    normalized estimation of the number of node pairs") matches the
+    normalized form.
+    """
+    return _normalized_term(
+        r.lo(axis), r.hi(axis), s.lo(axis), s.hi(axis), cutoff
+    ) + _normalized_term(s.lo(axis), s.hi(axis), r.lo(axis), r.hi(axis), cutoff)
+
+
+def _normalized_term(
+    a_lo: float, a_hi: float, b_lo: float, b_hi: float, cutoff: float
+) -> float:
+    """Expected fraction of b's children inside one of a's sweep windows."""
+    if a_hi > a_lo:
+        return _index_term(a_lo, a_hi, b_lo, b_hi, cutoff) / (a_hi - a_lo)
+    # Degenerate a: all children share one window; evaluate the integrand
+    # at the point instead of integrating over a zero-length range.
+    if cutoff <= 0.0:
+        return 0.0
+    if b_hi <= b_lo:
+        return 1.0 if b_lo - cutoff <= a_lo <= b_lo else 0.0
+    overlap = min(a_lo + cutoff, b_hi) - max(a_lo, b_lo)
+    return max(0.0, overlap) / (b_hi - b_lo)
+
+
+def _index_term(
+    a_lo: float, a_hi: float, b_lo: float, b_hi: float, cutoff: float
+) -> float:
+    """One integral of Equation (2).
+
+    ``(1 / |b|) * integral over t in [a_lo, a_hi] of
+    len([t, t + cutoff] n [b_lo, b_hi]) dt`` — the expected fraction of
+    b's children inside the sweep window of each of a's children.
+    """
+    if cutoff <= 0.0 or a_hi < a_lo:
+        return 0.0
+    if b_hi <= b_lo:
+        # Degenerate b: the "fraction covered" is 1 while the window
+        # contains the point, 0 otherwise.
+        lo = max(a_lo, b_lo - cutoff)
+        hi = min(a_hi, b_lo)
+        return max(0.0, hi - lo)
+
+    width = b_hi - b_lo
+
+    def fraction(t: float) -> float:
+        overlap = min(t + cutoff, b_hi) - max(t, b_lo)
+        return max(0.0, overlap) / width
+
+    breakpoints = sorted({a_lo, a_hi, b_lo - cutoff, b_hi - cutoff, b_lo, b_hi})
+    total = 0.0
+    for left, right in zip(breakpoints, breakpoints[1:]):
+        lo = max(left, a_lo)
+        hi = min(right, a_hi)
+        if hi <= lo:
+            continue
+        # fraction() is linear on each piece, so the trapezoid is exact.
+        total += (fraction(lo) + fraction(hi)) / 2.0 * (hi - lo)
+    return total
+
+
+def table1_sweeping_index(r: Rect, s: Rect, axis: int, cutoff: float) -> float:
+    """Closed-form sweeping index for non-overlapping ``r``, ``s``.
+
+    This is the paper's Table 1 (the printed table in our source scan is
+    OCR-garbled, so the form is re-derived from Equation 2): with ``r``
+    first along the axis, gap ``alpha`` and side lengths ``R``, ``S``,
+    the second integral term vanishes and the first reduces to
+
+        ( H(c - alpha) - H(c - R - alpha) ) / S
+
+    where ``H`` is the antiderivative of ``clamp(u, 0, S)``.  Expanding
+    ``H`` over its three pieces yields exactly Table 1's case analysis:
+    zero below ``alpha``, a quadratic ramp, then saturation at ``R``.
+    Used to cross-validate the exact integrator above.
+    """
+    r_lo, r_hi = r.lo(axis), r.hi(axis)
+    s_lo, s_hi = s.lo(axis), s.hi(axis)
+    if r_lo > s_lo:
+        r_lo, r_hi, s_lo, s_hi = s_lo, s_hi, r_lo, r_hi
+    alpha = s_lo - r_hi
+    if alpha < 0:
+        raise ValueError("table1_sweeping_index requires non-overlapping nodes")
+    len_s = s_hi - s_lo
+    if len_s == 0:
+        raise ValueError("table1_sweeping_index requires non-degenerate s")
+
+    def antiderivative(x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if x <= len_s:
+            return x * x / 2.0
+        return len_s * x - len_s * len_s / 2.0
+
+    upper = antiderivative(cutoff - alpha)
+    lower = antiderivative(cutoff - (r_hi - r_lo) - alpha)
+    return (upper - lower) / len_s
+
+
+# ----------------------------------------------------------------------
+# Axis and direction selection
+# ----------------------------------------------------------------------
+
+
+def choose_axis(instr: Instruments, r: Rect, s: Rect, cutoff: float) -> int:
+    """Pick the sweeping axis with the smaller sweeping index.
+
+    With an infinite (or zero) cutoff the index is uninformative, so fall
+    back to the natural heuristic: sweep along the dimension where the
+    combined extent is larger (more spread means more pruning).
+    """
+    span_x = max(r.xmax, s.xmax) - min(r.xmin, s.xmin)
+    span_y = max(r.ymax, s.ymax) - min(r.ymin, s.ymin)
+    if not math.isfinite(cutoff) or cutoff <= 0.0 or cutoff >= max(span_x, span_y):
+        return 0 if span_x >= span_y else 1
+    # The closed-form index costs a handful of arithmetic operations.
+    instr.disk.charge_cpu(4 * instr.disk.cost_model.cpu_real_distance)
+    index_x = sweeping_index(r, s, 0, cutoff)
+    index_y = sweeping_index(r, s, 1, cutoff)
+    if index_x == index_y:
+        return 0 if span_x >= span_y else 1
+    return 0 if index_x < index_y else 1
+
+
+def choose_direction(r: Rect, s: Rect, axis: int) -> bool:
+    """True for a forward sweep (Section 3.3's interval rule).
+
+    The projections of ``r`` and ``s`` cut the axis into three intervals;
+    sweep from the side whose outer interval is shorter, so that close
+    pairs are met early and the cutoff drops fast.
+    """
+    points = sorted((r.lo(axis), r.hi(axis), s.lo(axis), s.hi(axis)))
+    left = points[1] - points[0]
+    right = points[3] - points[2]
+    return left <= right
+
+
+# ----------------------------------------------------------------------
+# Sweep bookkeeping structures
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class AnchorScan:
+    """Where one anchor's scan over the other sorted list stopped.
+
+    ``from_r`` tells which side the anchor came from; ``anchor_pos`` is
+    its position in its own sorted list; the scan covered positions
+    ``[start, resume)`` of the *other* sorted list.
+    """
+
+    from_r: bool
+    anchor_pos: int
+    start: int
+    resume: int
+
+
+@dataclass(slots=True)
+class ExpansionRecord:
+    """Everything needed to compensate one aggressively-expanded pair.
+
+    Holds the parent pair, the sorted child lists (sorted once, in stage
+    one — compensation must not pay for sorting again), each anchor's
+    scan window, and the cutoffs that were in force, so a later stage
+    knows exactly which child pairs were never examined (beyond
+    ``resume``) and which were examined but pruned on real distance
+    (inside the window, when ``real_cutoff`` is not ``None``).
+    ``real_cutoff is None`` means the in-window real-distance pruning was
+    *safe* (done with qDmax) and never needs revisiting.
+    """
+
+    a: Item
+    b: Item
+    distance: float
+    axis: int
+    forward: bool
+    sorted_r: list[Item]
+    sorted_s: list[Item]
+    anchors: list[AnchorScan]
+    axis_cutoff: float
+    real_cutoff: float | None
+
+    def fully_swept(self) -> bool:
+        """True when no anchor has unexamined positions left."""
+        for scan in self.anchors:
+            other = self.sorted_s if scan.from_r else self.sorted_r
+            if scan.resume < len(other):
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# The sweeper
+# ----------------------------------------------------------------------
+
+
+class PlaneSweeper:
+    """Performs (and compensates) bidirectional plane-sweep expansions.
+
+    Parameters
+    ----------
+    instr:
+        Instrumented operations (distance counting, CPU charging).
+    optimize_axis / optimize_direction:
+        The Section 3.2/3.3 optimizations; both default on.  Turning them
+        off fixes the sweep to the x axis, forward — the configuration
+        the paper uses as the Figure 11 baseline.
+    """
+
+    def __init__(
+        self,
+        instr: Instruments,
+        optimize_axis: bool = True,
+        optimize_direction: bool = True,
+    ) -> None:
+        self._instr = instr
+        self.optimize_axis = optimize_axis
+        self.optimize_direction = optimize_direction
+
+    # -- public entry points -------------------------------------------
+
+    def expand(
+        self,
+        a: Item,
+        b: Item,
+        children_r: list[Item],
+        children_s: list[Item],
+        axis_limit: CutoffFn,
+        real_limit: CutoffFn,
+        emit: EmitFn,
+        keep_record: bool = False,
+        pair_distance: float = 0.0,
+        record_real_cutoff: float | None = None,
+    ) -> ExpansionRecord | None:
+        """Sweep the children of pair ``(a, b)``.
+
+        ``axis_limit`` bounds the scan along the sweeping axis (qDmax in
+        B-KDJ, eDmax in the aggressive stage); ``real_limit`` filters on
+        real distance before emitting.  Both are re-read as the sweep
+        proceeds.
+
+        When ``keep_record`` is set, returns an :class:`ExpansionRecord`
+        whose ``real_cutoff`` is ``record_real_cutoff`` — pass the real
+        pruning cutoff *if it was unsafe* (AM-IDJ's eDmax) or ``None`` if
+        it was safe (AM-KDJ's qDmax), which controls whether a later
+        compensation pass rechecks in-window pairs.
+        """
+        select_cutoff = min(axis_limit(), real_limit())
+        axis = (
+            choose_axis(self._instr, a.rect, b.rect, select_cutoff)
+            if self.optimize_axis
+            else 0
+        )
+        forward = (
+            choose_direction(a.rect, b.rect, axis) if self.optimize_direction else True
+        )
+        sorted_r = self._sorted(children_r, axis, forward)
+        sorted_s = self._sorted(children_s, axis, forward)
+
+        anchors: list[AnchorScan] | None = [] if keep_record else None
+        self._merge_sweep(
+            sorted_r, sorted_s, axis, forward, axis_limit, real_limit, emit, anchors
+        )
+        if not keep_record:
+            return None
+        assert anchors is not None
+        return ExpansionRecord(
+            a=a,
+            b=b,
+            distance=pair_distance,
+            axis=axis,
+            forward=forward,
+            sorted_r=sorted_r,
+            sorted_s=sorted_s,
+            anchors=anchors,
+            axis_cutoff=axis_limit(),
+            real_cutoff=record_real_cutoff,
+        )
+
+    def compensate(
+        self,
+        record: ExpansionRecord,
+        axis_limit: CutoffFn,
+        real_limit: CutoffFn,
+        emit: EmitFn,
+        new_record_real_cutoff: float | None = None,
+    ) -> None:
+        """Re-sweep only what earlier stages skipped (Algorithm 3).
+
+        For every anchor, positions beyond its stored ``resume`` index
+        were never examined and are swept now under the new cutoffs.
+        Positions inside the old window were already examined; they are
+        revisited only when the record's ``real_cutoff`` is not ``None``
+        (AM-IDJ: stage one pruned on real distance > eDmax and those
+        pairs must now be recovered) — and then only pairs whose real
+        distance exceeded the old cutoff are emitted, so nothing is
+        emitted twice.
+
+        The record is updated in place (resume indices and cutoffs) so it
+        can serve yet another stage.
+        """
+        old_real = record.real_cutoff
+        axis, forward = record.axis, record.forward
+        for scan in record.anchors:
+            own, other = (
+                (record.sorted_r, record.sorted_s)
+                if scan.from_r
+                else (record.sorted_s, record.sorted_r)
+            )
+            anchor = own[scan.anchor_pos]
+            anchor_end = self._end(anchor, axis, forward)
+            begin = scan.start if old_real is not None else scan.resume
+            old_resume = scan.resume
+            new_resume = len(other)
+            for idx in range(begin, len(other)):
+                m = other[idx]
+                gap = self._key(m, axis, forward) - anchor_end
+                if gap < 0.0:
+                    gap = 0.0
+                self._instr.count_axis()
+                if gap > axis_limit():
+                    new_resume = idx
+                    break
+                real = self._instr.real_distance(anchor.rect, m.rect)
+                if idx < old_resume:
+                    # Examined before: recover only what the old (unsafe)
+                    # real cutoff rejected.
+                    assert old_real is not None
+                    if real > old_real and real <= real_limit():
+                        self._emit_oriented(anchor, m, real, scan.from_r, emit)
+                elif real <= real_limit():
+                    self._emit_oriented(anchor, m, real, scan.from_r, emit)
+            scan.resume = max(old_resume, new_resume)
+        record.axis_cutoff = axis_limit()
+        record.real_cutoff = new_record_real_cutoff
+
+    # -- internals ------------------------------------------------------
+
+    def _sorted(self, items: list[Item], axis: int, forward: bool) -> list[Item]:
+        self._instr.charge_sort(len(items))
+        return sorted(items, key=lambda it: self._key(it, axis, forward))
+
+    @staticmethod
+    def _key(item: Item, axis: int, forward: bool) -> float:
+        """Sweep-order coordinate (negated for backward sweeps)."""
+        return item.rect.lo(axis) if forward else -item.rect.hi(axis)
+
+    @staticmethod
+    def _end(item: Item, axis: int, forward: bool) -> float:
+        """Far edge of the item in sweep coordinates."""
+        return item.rect.hi(axis) if forward else -item.rect.lo(axis)
+
+    @staticmethod
+    def _emit_oriented(
+        anchor: Item, m: Item, real: float, anchor_from_r: bool, emit: EmitFn
+    ) -> None:
+        """Emit with the R-side item first, whichever side anchored."""
+        if anchor_from_r:
+            emit(anchor, m, real)
+        else:
+            emit(m, anchor, real)
+
+    def _merge_sweep(
+        self,
+        sorted_r: list[Item],
+        sorted_s: list[Item],
+        axis: int,
+        forward: bool,
+        axis_limit: CutoffFn,
+        real_limit: CutoffFn,
+        emit: EmitFn,
+        anchors: list[AnchorScan] | None,
+    ) -> None:
+        """Algorithm 1's PlaneSweep loop over both sorted child lists."""
+        i = j = 0
+        n_r, n_s = len(sorted_r), len(sorted_s)
+        while i < n_r and j < n_s:
+            from_r = self._key(sorted_r[i], axis, forward) <= self._key(
+                sorted_s[j], axis, forward
+            )
+            if from_r:
+                anchor, own_pos = sorted_r[i], i
+                start = j
+                other = sorted_s
+                i += 1
+            else:
+                anchor, own_pos = sorted_s[j], j
+                start = i
+                other = sorted_r
+                j += 1
+            resume = self._scan(
+                anchor, other, start, axis, forward, axis_limit, real_limit,
+                emit, from_r,
+            )
+            if anchors is not None:
+                anchors.append(AnchorScan(from_r, own_pos, start, resume))
+
+    def _scan(
+        self,
+        anchor: Item,
+        other: list[Item],
+        start: int,
+        axis: int,
+        forward: bool,
+        axis_limit: CutoffFn,
+        real_limit: CutoffFn,
+        emit: EmitFn,
+        anchor_from_r: bool,
+    ) -> int:
+        """SweepPruning: pair the anchor with nodes within the cutoff.
+
+        Returns the index of the first node *not* examined (the resume
+        position for compensation), ``len(other)`` when the scan
+        exhausted the list.
+        """
+        anchor_end = self._end(anchor, axis, forward)
+        for idx in range(start, len(other)):
+            m = other[idx]
+            gap = self._key(m, axis, forward) - anchor_end
+            if gap < 0.0:
+                gap = 0.0
+            self._instr.count_axis()
+            if gap > axis_limit():
+                return idx
+            real = self._instr.real_distance(anchor.rect, m.rect)
+            if real <= real_limit():
+                self._emit_oriented(anchor, m, real, anchor_from_r, emit)
+        return len(other)

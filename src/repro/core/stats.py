@@ -1,0 +1,139 @@
+"""Metrics and instrumentation for join runs.
+
+The paper evaluates algorithms on three primary metrics (Section 5.1):
+
+1. number of (real) distance computations,
+2. number of main-queue insertions,
+3. response time — reproduced here as the simulated clock (device I/O
+   plus modeled CPU), with wall-clock time recorded alongside.
+
+plus R-tree node accesses (Table 2, buffered and unbuffered) and axis
+distance computations (Figure 11).  ``Instruments`` is the single choke
+point the engines route all distance computations and node fetches
+through, so no metric can silently drift out of sync with the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.geometry.distances import axis_distance, min_distance
+from repro.geometry.rect import Rect
+from repro.storage.disk import SimulatedDisk
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.rtree.tree import TreeAccessor
+
+
+@dataclass(slots=True)
+class JoinStats:
+    """Metric snapshot for one join run."""
+
+    algorithm: str = ""
+    k: int = 0
+    results: int = 0
+    real_distance_computations: int = 0
+    axis_distance_computations: int = 0
+    queue_insertions: int = 0
+    distance_queue_insertions: int = 0
+    node_accesses: int = 0
+    node_accesses_unbuffered: int = 0
+    response_time: float = 0.0
+    io_time: float = 0.0
+    cpu_time: float = 0.0
+    wall_time: float = 0.0
+    queue_peak_size: int = 0
+    queue_splits: int = 0
+    queue_swap_ins: int = 0
+    compensation_stages: int = 0
+    compensation_peak: int = 0
+    edmax_initial: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_distance_computations(self) -> int:
+        """Real plus axis distance computations (Figure 11's y-axis)."""
+        return self.real_distance_computations + self.axis_distance_computations
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary for table printing and regression baselines."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "results": self.results,
+            "dist_comps": self.real_distance_computations,
+            "axis_comps": self.axis_distance_computations,
+            "queue_insertions": self.queue_insertions,
+            "node_accesses": self.node_accesses,
+            "node_accesses_unbuffered": self.node_accesses_unbuffered,
+            "response_time": self.response_time,
+            "wall_time": self.wall_time,
+        }
+
+
+class Instruments:
+    """Counted, clock-charging operations shared by all join engines.
+
+    Wraps the simulated disk and both trees' buffered accessors.  Engines
+    never call :func:`min_distance` or fetch nodes directly; they go
+    through this object so the counters and the simulated clock always
+    agree with the work performed.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        accessor_r: "TreeAccessor",
+        accessor_s: "TreeAccessor",
+    ) -> None:
+        self.disk = disk
+        self.accessor_r = accessor_r
+        self.accessor_s = accessor_s
+        self.real_distance_computations = 0
+        self.axis_distance_computations = 0
+
+    # -- distances ------------------------------------------------------
+
+    def real_distance(self, a: Rect, b: Rect) -> float:
+        """Counted minimum (real) distance between two rectangles."""
+        self.real_distance_computations += 1
+        self.disk.charge_cpu(self.disk.cost_model.cpu_real_distance)
+        return min_distance(a, b)
+
+    def axis_dist(self, a: Rect, b: Rect, axis: int) -> float:
+        """Counted axis distance between two rectangles."""
+        self.count_axis()
+        return axis_distance(a, b, axis)
+
+    def count_axis(self, n: int = 1) -> None:
+        """Count ``n`` axis-distance computations done inline by a sweep."""
+        self.axis_distance_computations += n
+        self.disk.charge_cpu(n * self.disk.cost_model.cpu_axis_distance)
+
+    # -- sorting --------------------------------------------------------
+
+    def charge_sort(self, n: int) -> None:
+        """Charge CPU for sorting ``n`` child entries before a sweep."""
+        if n > 1:
+            import math
+
+            self.disk.charge_cpu(
+                self.disk.cost_model.cpu_sort_per_element * n * math.log2(n)
+            )
+
+    # -- snapshotting ----------------------------------------------------
+
+    def fill(self, stats: JoinStats) -> None:
+        """Copy accumulated counters into a stats record."""
+        stats.real_distance_computations = self.real_distance_computations
+        stats.axis_distance_computations = self.axis_distance_computations
+        stats.node_accesses = (
+            self.accessor_r.physical_reads + self.accessor_s.physical_reads
+        )
+        stats.node_accesses_unbuffered = (
+            self.accessor_r.logical_accesses + self.accessor_s.logical_accesses
+        )
+        stats.response_time = self.disk.clock
+        stats.io_time = self.disk.io_time
+        stats.cpu_time = self.disk.cpu_time

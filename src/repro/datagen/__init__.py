@@ -1,0 +1,27 @@
+"""Synthetic spatial data generation.
+
+The paper evaluates on TIGER/Line97 Arizona data (633,461 street
+segments and 189,642 hydrographic objects).  That data is not shipped
+here; :mod:`repro.datagen.tiger` generates a synthetic stand-in with the
+same qualitative properties — clustered, skewed, small elongated MBRs —
+at configurable scale, and :mod:`repro.datagen.generators` provides the
+standard uniform / Gaussian-cluster distributions used in unit tests and
+ablations.
+"""
+
+from repro.datagen.generators import (
+    clustered_points,
+    clustered_rects,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datagen.tiger import TigerDataset, synthetic_tiger
+
+__all__ = [
+    "TigerDataset",
+    "clustered_points",
+    "clustered_rects",
+    "synthetic_tiger",
+    "uniform_points",
+    "uniform_rects",
+]

@@ -1,0 +1,107 @@
+"""Basic synthetic spatial distributions.
+
+All generators are deterministic given a seed and return
+``list[(Rect, oid)]`` ready for :meth:`repro.rtree.tree.RTree.bulk_load`.
+Object ids are dense ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.geometry.rect import Rect
+
+#: The default square data space, mirroring a projected map extent.
+DEFAULT_SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+def uniform_points(
+    n: int, space: Rect = DEFAULT_SPACE, seed: int = 0
+) -> list[tuple[Rect, int]]:
+    """``n`` uniformly distributed points (degenerate rectangles)."""
+    rng = random.Random(seed)
+    return [
+        (
+            Rect.from_point(
+                rng.uniform(space.xmin, space.xmax),
+                rng.uniform(space.ymin, space.ymax),
+            ),
+            i,
+        )
+        for i in range(n)
+    ]
+
+
+def uniform_rects(
+    n: int,
+    space: Rect = DEFAULT_SPACE,
+    max_side: float = 20.0,
+    seed: int = 0,
+) -> list[tuple[Rect, int]]:
+    """``n`` uniformly placed rectangles with sides in ``(0, max_side]``."""
+    rng = random.Random(seed)
+    items: list[tuple[Rect, int]] = []
+    for i in range(n):
+        w = rng.uniform(0.0, max_side)
+        h = rng.uniform(0.0, max_side)
+        x = rng.uniform(space.xmin, space.xmax - w)
+        y = rng.uniform(space.ymin, space.ymax - h)
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+def clustered_points(
+    n: int,
+    clusters: int = 10,
+    spread: float = 200.0,
+    space: Rect = DEFAULT_SPACE,
+    seed: int = 0,
+) -> list[tuple[Rect, int]]:
+    """Gaussian clusters of points — the paper's skew scenario.
+
+    Cluster centers are uniform in the space; points are normal around
+    their center with standard deviation ``spread`` and clipped to the
+    space.
+    """
+    rng = random.Random(seed)
+    centers = [
+        (
+            rng.uniform(space.xmin, space.xmax),
+            rng.uniform(space.ymin, space.ymax),
+        )
+        for _ in range(max(clusters, 1))
+    ]
+    items: list[tuple[Rect, int]] = []
+    for i in range(n):
+        cx, cy = centers[rng.randrange(len(centers))]
+        x = _clip(rng.gauss(cx, spread), space.xmin, space.xmax)
+        y = _clip(rng.gauss(cy, spread), space.ymin, space.ymax)
+        items.append((Rect.from_point(x, y), i))
+    return items
+
+
+def clustered_rects(
+    n: int,
+    clusters: int = 10,
+    spread: float = 200.0,
+    max_side: float = 20.0,
+    space: Rect = DEFAULT_SPACE,
+    seed: int = 0,
+) -> list[tuple[Rect, int]]:
+    """Gaussian clusters of small rectangles."""
+    rng = random.Random(seed)
+    points = clustered_points(n, clusters, spread, space, seed)
+    items: list[tuple[Rect, int]] = []
+    for rect, i in points:
+        w = rng.uniform(0.0, max_side)
+        h = rng.uniform(0.0, max_side)
+        x = _clip(rect.xmin, space.xmin, space.xmax - w)
+        y = _clip(rect.ymin, space.ymin, space.ymax - h)
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+def _clip(value: float, lo: float, hi: float) -> float:
+    return min(max(value, lo), hi)

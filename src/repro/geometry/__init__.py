@@ -1,0 +1,22 @@
+"""2-D geometry primitives used throughout the library.
+
+Everything here is pure (no I/O, no global state): axis-aligned rectangles
+(MBRs), the distance functions the join algorithms rely on, and small
+helpers for the plane-sweep machinery.
+"""
+
+from repro.geometry.rect import Rect
+from repro.geometry.distances import (
+    axis_distance,
+    max_distance,
+    min_distance,
+    point_distance,
+)
+
+__all__ = [
+    "Rect",
+    "axis_distance",
+    "max_distance",
+    "min_distance",
+    "point_distance",
+]

@@ -1,0 +1,227 @@
+"""Array-backed binary heaps, written from scratch.
+
+The join queues need both orientations — the main queue is a min-heap on
+pair distance, the distance queue a max-heap — plus bulk ``heapify`` for
+the hybrid queue's swap-in path.  Items are ``(key, payload)`` pairs and
+only keys are compared, so payloads never need to be orderable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterable, Iterator, TypeVar
+
+K = TypeVar("K")
+
+
+class MinHeap(Generic[K]):
+    """Binary min-heap of ``(key, payload)`` pairs."""
+
+    def __init__(self, items: Iterable[tuple[K, Any]] = ()) -> None:
+        self._data: list[tuple[K, Any]] = list(items)
+        self._heapify()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def push(self, key: K, payload: Any = None) -> None:
+        """Insert an item in ``O(log n)``."""
+        self._data.append((key, payload))
+        self._sift_up(len(self._data) - 1)
+
+    def pop(self) -> tuple[K, Any]:
+        """Remove and return the smallest ``(key, payload)``; ``O(log n)``."""
+        data = self._data
+        if not data:
+            raise IndexError("pop from empty heap")
+        last = data.pop()
+        if not data:
+            return last
+        top = data[0]
+        data[0] = last
+        self._sift_down(0)
+        return top
+
+    def peek(self) -> tuple[K, Any]:
+        """Return the smallest item without removing it."""
+        if not self._data:
+            raise IndexError("peek at empty heap")
+        return self._data[0]
+
+    def pushpop(self, key: K, payload: Any = None) -> tuple[K, Any]:
+        """Push then pop, faster than the two calls when the heap is full."""
+        data = self._data
+        if data and data[0][0] < key:
+            top = data[0]
+            data[0] = (key, payload)
+            self._sift_down(0)
+            return top
+        return (key, payload)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def drain(self) -> list[tuple[K, Any]]:
+        """Remove and return all items, unordered, in ``O(n)``."""
+        items = self._data
+        self._data = []
+        return items
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __iter__(self) -> Iterator[tuple[K, Any]]:
+        """Iterate items in heap (not sorted) order."""
+        return iter(self._data)
+
+    def is_valid(self) -> bool:
+        """Check the heap invariant (used by property tests)."""
+        data = self._data
+        for i in range(1, len(data)):
+            if data[i][0] < data[(i - 1) // 2][0]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _heapify(self) -> None:
+        for i in reversed(range(len(self._data) // 2)):
+            self._sift_down(i)
+
+    def _sift_up(self, pos: int) -> None:
+        data = self._data
+        item = data[pos]
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if item[0] < data[parent][0]:
+                data[pos] = data[parent]
+                pos = parent
+            else:
+                break
+        data[pos] = item
+
+    def _sift_down(self, pos: int) -> None:
+        data = self._data
+        n = len(data)
+        item = data[pos]
+        child = 2 * pos + 1
+        while child < n:
+            right = child + 1
+            if right < n and data[right][0] < data[child][0]:
+                child = right
+            if data[child][0] < item[0]:
+                data[pos] = data[child]
+                pos = child
+                child = 2 * pos + 1
+            else:
+                break
+        data[pos] = item
+
+
+class MaxHeap(Generic[K]):
+    """Binary max-heap of ``(key, payload)`` pairs.
+
+    Implemented independently rather than by key negation so that keys
+    only need ``<`` (and so non-numeric keys work).
+    """
+
+    def __init__(self, items: Iterable[tuple[K, Any]] = ()) -> None:
+        self._data: list[tuple[K, Any]] = list(items)
+        self._heapify()
+
+    def push(self, key: K, payload: Any = None) -> None:
+        """Insert an item in ``O(log n)``."""
+        self._data.append((key, payload))
+        self._sift_up(len(self._data) - 1)
+
+    def pop(self) -> tuple[K, Any]:
+        """Remove and return the largest ``(key, payload)``; ``O(log n)``."""
+        data = self._data
+        if not data:
+            raise IndexError("pop from empty heap")
+        last = data.pop()
+        if not data:
+            return last
+        top = data[0]
+        data[0] = last
+        self._sift_down(0)
+        return top
+
+    def peek(self) -> tuple[K, Any]:
+        """Return the largest item without removing it."""
+        if not self._data:
+            raise IndexError("peek at empty heap")
+        return self._data[0]
+
+    def pushpop(self, key: K, payload: Any = None) -> tuple[K, Any]:
+        """Push then pop the maximum, in one sift."""
+        data = self._data
+        if data and key < data[0][0]:
+            top = data[0]
+            data[0] = (key, payload)
+            self._sift_down(0)
+            return top
+        return (key, payload)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __iter__(self) -> Iterator[tuple[K, Any]]:
+        """Iterate items in heap (not sorted) order."""
+        return iter(self._data)
+
+    def is_valid(self) -> bool:
+        """Check the heap invariant (used by property tests)."""
+        data = self._data
+        for i in range(1, len(data)):
+            if data[(i - 1) // 2][0] < data[i][0]:
+                return False
+        return True
+
+    def _heapify(self) -> None:
+        for i in reversed(range(len(self._data) // 2)):
+            self._sift_down(i)
+
+    def _sift_up(self, pos: int) -> None:
+        data = self._data
+        item = data[pos]
+        while pos > 0:
+            parent = (pos - 1) // 2
+            if data[parent][0] < item[0]:
+                data[pos] = data[parent]
+                pos = parent
+            else:
+                break
+        data[pos] = item
+
+    def _sift_down(self, pos: int) -> None:
+        data = self._data
+        n = len(data)
+        item = data[pos]
+        child = 2 * pos + 1
+        while child < n:
+            right = child + 1
+            if right < n and data[child][0] < data[right][0]:
+                child = right
+            if item[0] < data[child][0]:
+                data[pos] = data[child]
+                pos = child
+                child = 2 * pos + 1
+            else:
+                break
+        data[pos] = item

@@ -1,0 +1,54 @@
+"""The distance queue: a k-bounded max-heap of candidate distances.
+
+The k-distance join algorithms maintain the k smallest object-pair
+distances seen so far.  The maximum of those — ``qDmax`` — is a *safe*
+pruning cutoff: any pair whose minimum distance exceeds it cannot belong
+to the k nearest pairs (paper Section 2.1).  While fewer than k distances
+have been seen, the cutoff is infinite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.queues.binary_heap import MaxHeap
+
+
+class DistanceQueue:
+    """Max-heap bounded to ``k`` entries, exposing the cutoff ``qDmax``.
+
+    Parameters
+    ----------
+    k:
+        Stopping cardinality of the query; the queue never holds more than
+        ``k`` distances.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._heap: MaxHeap[float] = MaxHeap()
+        self.insertions = 0
+
+    def insert(self, distance: float) -> None:
+        """Offer a distance; keeps only the k smallest seen so far."""
+        self.insertions += 1
+        if len(self._heap) < self.k:
+            self._heap.push(distance)
+        else:
+            self._heap.pushpop(distance)
+
+    @property
+    def cutoff(self) -> float:
+        """``qDmax``: the k-th smallest distance seen, or ``inf`` if < k."""
+        if len(self._heap) < self.k:
+            return math.inf
+        return self._heap.peek()[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def distances(self) -> list[float]:
+        """All retained distances, unordered (for tests and diagnostics)."""
+        return [key for key, _ in self._heap]

@@ -1,0 +1,369 @@
+"""Hybrid memory/disk main queue (paper Section 4.4).
+
+The main queue holds candidate pairs ordered by minimum distance.  It can
+grow to ``O(|R_obj| x |S_obj|)`` entries in the worst case, so it cannot
+be assumed to fit in memory.  Following the paper, the queue is
+partitioned by distance range:
+
+- the shortest range lives in memory as a binary min-heap;
+- longer ranges live on (simulated) disk as *unsorted piles* ("segments");
+- when the density parameter ``rho`` of Equation (3) is known, segment
+  boundaries are pre-placed at ``sqrt(i * n * rho)`` for heap capacity
+  ``n`` — under the uniform model each of the first segments then holds
+  about one heap-load of result pairs, so splits are rare and a swap-in
+  refills the heap exactly once per ``n`` results;
+- if the in-memory heap still overflows it is **split**: the longer-
+  distance half is written out as a new segment in front of the existing
+  ones;
+- when the heap empties while segments remain, the nearest segment is
+  **swapped in**; if it is larger than the heap capacity, only the ``n``
+  smallest entries stay in memory and the rest is written back.
+
+The boundary table is capped (``MAX_FORMULA_SEGMENTS``); everything past
+the last boundary lands in one open-ended tail pile, which models the
+fact that only the first few ranges are ever consumed by a top-k query.
+Without ``rho`` (pass ``None``) the queue degenerates to the pure
+split-on-overflow scheme of earlier work; the difference is measured in
+the ablation benchmark.
+
+Invariant maintained throughout: every key in the heap is ``<=`` every
+key in any segment, so the global minimum is always the heap minimum.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.queues.binary_heap import MinHeap
+from repro.storage.disk import SimulatedDisk
+
+#: Modeled size of one queue entry on disk: distance (8 bytes), two node
+#: references (8 + 8), level/flags and bookkeeping (24).  Matches the
+#: magnitude a C implementation of the paper would use.
+DEFAULT_ENTRY_BYTES = 48
+
+#: Size of the pre-placed boundary table in rho mode.
+MAX_FORMULA_SEGMENTS = 64
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Operation counters for one main queue."""
+
+    insertions: int = 0
+    pops: int = 0
+    splits: int = 0
+    swap_ins: int = 0
+    spilled_entries: int = 0
+    peak_size: int = 0
+
+
+@dataclass(slots=True)
+class _Segment:
+    """An unsorted on-disk pile covering distances ``[lo, hi)``.
+
+    In simulated mode all entries stay in ``entries``.  In real-spill
+    mode ``entries`` is only a staging buffer: cold batches are pickled
+    to ``path`` and ``spilled`` counts what lives in the file.
+    """
+
+    lo: float
+    hi: float
+    entries: list[tuple[float, Any]] = field(default_factory=list)
+    path: Path | None = None
+    spilled: int = 0
+    staged_since_flush: int = 0
+
+    def total(self) -> int:
+        return len(self.entries) + self.spilled
+
+    def spill_to(self, path: Path, batch: list[tuple[float, Any]]) -> None:
+        """Append a batch of entries to this segment's file."""
+        if self.path is None:
+            self.path = path
+        with open(self.path, "ab") as f:
+            pickle.dump(batch, f, protocol=pickle.HIGHEST_PROTOCOL)
+        self.spilled += len(batch)
+
+    def load_all(self) -> list[tuple[float, Any]]:
+        """Read back everything (file batches plus the staging buffer)."""
+        loaded: list[tuple[float, Any]] = []
+        if self.path is not None and self.path.exists():
+            with open(self.path, "rb") as f:
+                while True:
+                    try:
+                        loaded.extend(pickle.load(f))
+                    except EOFError:
+                        break
+            self.path.unlink()
+            self.path = None
+        self.spilled = 0
+        loaded.extend(self.entries)
+        self.entries = []
+        return loaded
+
+
+class MainQueue:
+    """Min-priority queue of ``(distance, payload)`` with bounded memory.
+
+    Parameters
+    ----------
+    disk:
+        Simulated disk charged for spills, swap-ins and CPU heap work.
+    memory_bytes:
+        Size of the in-memory portion (the paper default is 512 KB).
+    rho:
+        Density parameter of Equation (3), ``area(R n S) / (pi |R| |S|)``;
+        used to pre-place segment boundaries.  ``None`` disables
+        model-based boundaries.
+    entry_bytes:
+        Modeled on-disk size of one entry.
+    spill_dir:
+        When given, disk segments are *actually* written to pickle files
+        under this directory (keeping Python memory bounded by the heap
+        capacity plus one staging page per segment) instead of merely
+        being charged to the simulated clock.  Files are removed as
+        segments are consumed.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        memory_bytes: int,
+        rho: float | None = None,
+        entry_bytes: int = DEFAULT_ENTRY_BYTES,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if entry_bytes <= 0:
+            raise ValueError("entry_bytes must be positive")
+        if rho is not None and rho <= 0:
+            raise ValueError("rho must be positive when given")
+        self._disk = disk
+        self._entry_bytes = entry_bytes
+        self._capacity = max(memory_bytes // entry_bytes, 4)
+        self._rho = rho
+        self._heap: MinHeap[float] = MinHeap()
+        # Split segments: carved out of the memory range, always strictly
+        # below every live formula segment; kept sorted ascending by lo.
+        self._split_segments: list[_Segment] = []
+        # Formula segments: index i covers [b_i, b_{i+1}), boundaries
+        # b_i = sqrt(i * n * rho); the last index is open-ended.
+        self._formula_segments: dict[int, _Segment] = {}
+        self._mem_bound = self._boundary(1)
+        self.stats = QueueStats()
+        self._size = 0
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self._spill_dir is not None:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Entries the in-memory heap can hold."""
+        return self._capacity
+
+    def insert(self, distance: float, payload: Any) -> None:
+        """Insert a candidate pair keyed by its minimum distance."""
+        self.stats.insertions += 1
+        self._size += 1
+        self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
+        if distance < self._mem_bound:
+            self._heap.push(distance, payload)
+            if len(self._heap) > self._capacity:
+                self._split()
+        else:
+            segment = self._segment_for(distance)
+            segment.entries.append((distance, payload))
+            segment.staged_since_flush += 1
+            self.stats.spilled_entries += 1
+            # Appends stream to disk through a one-page write buffer; the
+            # amortized cost is one sequential page per page of entries.
+            if segment.staged_since_flush >= self._entries_per_page():
+                self._disk.sequential_write(1)
+                segment.staged_since_flush = 0
+                if self._spill_dir is not None:
+                    segment.spill_to(self._new_spill_path(), segment.entries)
+                    segment.entries = []
+        if self._size > self.stats.peak_size:
+            self.stats.peak_size = self._size
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the globally smallest ``(distance, payload)``."""
+        while not self._heap:
+            self._swap_in()
+        self.stats.pops += 1
+        self._size -= 1
+        self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
+        return self._heap.pop()
+
+    def peek_key(self) -> float:
+        """Smallest distance currently queued (swapping in if needed)."""
+        while not self._heap:
+            self._swap_in()
+        return self._heap.peek()[0]
+
+    def _new_spill_path(self) -> Path:
+        assert self._spill_dir is not None
+        return self._spill_dir / f"seg-{uuid.uuid4().hex}.pile"
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def in_memory_size(self) -> int:
+        """Entries currently held in the heap."""
+        return len(self._heap)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of non-empty disk segments."""
+        return sum(1 for s in self._all_segments() if s.total())
+
+    @property
+    def spill_files(self) -> int:
+        """Live spill files on real disk (0 in simulated mode)."""
+        return sum(
+            1 for s in self._all_segments() if s.path is not None
+        )
+
+    def check_invariant(self) -> bool:
+        """True when every heap key <= every segment key (test hook)."""
+        if not self._heap:
+            return True
+        heap_max = max(key for key, _ in self._heap)
+        for segment in self._all_segments():
+            # staged entries only; spilled batches share the segment's
+            # range, which starts at or above the heap bound
+            if segment.lo < heap_max and not math.isclose(segment.lo, heap_max):
+                if any(key < heap_max for key, _ in segment.entries):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _all_segments(self) -> list[_Segment]:
+        return self._split_segments + list(self._formula_segments.values())
+
+    def _entries_per_page(self) -> int:
+        return max(self._disk.cost_model.page_size // self._entry_bytes, 1)
+
+    def _pages_for(self, count: int) -> int:
+        return -(-count // self._entries_per_page()) if count else 0
+
+    def _boundary(self, index: int) -> float:
+        """Distance boundary ``sqrt(index * n * rho)`` or ``inf``."""
+        if self._rho is None or index >= MAX_FORMULA_SEGMENTS:
+            return math.inf
+        return math.sqrt(index * self._capacity * self._rho)
+
+    def _segment_for(self, distance: float) -> _Segment:
+        """Find or create the segment whose range contains ``distance``."""
+        for segment in self._split_segments:
+            if segment.lo <= distance < segment.hi:
+                return segment
+        if self._rho is None:
+            # Split-only mode: one open-ended overflow pile.
+            segment = _Segment(self._mem_bound, math.inf)
+            self._split_segments.append(segment)
+            return segment
+        index = int(distance * distance / (self._capacity * self._rho))
+        index = min(max(index, 1), MAX_FORMULA_SEGMENTS - 1)
+        segment = self._formula_segments.get(index)
+        if segment is None:
+            segment = _Segment(self._boundary(index), self._boundary(index + 1))
+            self._formula_segments[index] = segment
+        return segment
+
+    def _split(self) -> None:
+        """Move the longer-distance half of a full heap to disk."""
+        self.stats.splits += 1
+        items = self._heap.drain()
+        items.sort(key=lambda item: item[0])
+        self._charge_sort(len(items))
+        keep = len(items) // 2
+        kept, moved = items[:keep], items[keep:]
+        old_bound = self._mem_bound
+        self._mem_bound = moved[0][0]
+        self._heap = MinHeap(kept)
+        segment = _Segment(self._mem_bound, old_bound)
+        if self._spill_dir is not None:
+            segment.spill_to(self._new_spill_path(), moved)
+        else:
+            segment.entries = moved
+        self.stats.spilled_entries += len(moved)
+        self._split_segments.insert(0, segment)
+        self._disk.sequential_write(self._pages_for(len(moved)))
+
+    def _next_segment(self) -> _Segment | None:
+        """The nearest non-empty segment, dropping exhausted ones."""
+        while self._split_segments and not self._split_segments[0].total():
+            self._split_segments.pop(0)
+        if self._split_segments:
+            return self._split_segments[0]
+        while self._formula_segments:
+            index = min(self._formula_segments)
+            segment = self._formula_segments[index]
+            if segment.total():
+                return segment
+            del self._formula_segments[index]
+        return None
+
+    def _swap_in(self) -> None:
+        """Refill the empty heap from the nearest disk segment."""
+        segment = self._next_segment()
+        if segment is None:
+            raise IndexError("pop from empty MainQueue")
+        self.stats.swap_ins += 1
+        entries = segment.load_all() if self._spill_dir is not None else segment.entries
+        self._disk.sequential_read(self._pages_for(len(entries)))
+        self._charge_sort(len(entries))
+        if len(entries) <= self._capacity:
+            self._heap = MinHeap(entries)
+            self._mem_bound = segment.hi
+            segment.entries = []
+            self._drop(segment)
+        else:
+            entries.sort(key=lambda item: item[0])
+            self._heap = MinHeap(entries[: self._capacity])
+            remainder = entries[self._capacity :]
+            segment.lo = remainder[0][0]
+            segment.staged_since_flush = 0
+            self._mem_bound = segment.lo
+            if self._spill_dir is not None:
+                segment.entries = []
+                segment.spill_to(self._new_spill_path(), remainder)
+            else:
+                segment.entries = remainder
+            self._disk.sequential_write(self._pages_for(len(remainder)))
+
+    def _drop(self, segment: _Segment) -> None:
+        if self._split_segments and self._split_segments[0] is segment:
+            self._split_segments.pop(0)
+            return
+        for index, candidate in self._formula_segments.items():
+            if candidate is segment:
+                del self._formula_segments[index]
+                return
+
+    def _charge_sort(self, count: int) -> None:
+        if count > 1:
+            self._disk.charge_cpu(
+                self._disk.cost_model.cpu_sort_per_element
+                * count
+                * math.log2(count)
+            )

@@ -1,0 +1,96 @@
+"""R-tree deletion: FindLeaf, CondenseTree, reinsertion of orphans.
+
+Classic Guttman deletion adapted to the R*-tree facade: locate the leaf
+holding the entry, remove it, and walk back up condensing — any node
+that drops below the minimum fill is dissolved and its entries are
+reinserted at their original level (using the R* inserter, so reinserted
+subtrees keep their structure).  If the root ends up with a single child
+the tree shrinks by one level.
+
+Deletion enables dynamic workloads (moving objects, expiring records) on
+top of the join algorithms; joins themselves never mutate trees.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.geometry.rect import Rect
+from repro.rtree.entries import Entry
+from repro.rtree.node import Node
+from repro.rtree.rstar import RStarInserter
+
+
+class _TreeLike(Protocol):
+    root_id: int
+    min_entries: int
+
+    def _get_node(self, page_id: int) -> Node: ...
+
+
+def delete(tree, rect: Rect, oid: int) -> bool:
+    """Remove the data entry ``(rect, oid)``; True when it was found.
+
+    Matching requires both the object id and an exactly equal rectangle
+    (the same contract as B-trees keyed on full records).
+    """
+    path = _find_leaf(tree, tree.root_id, rect, oid, [])
+    if path is None:
+        return False
+    leaf = path[-1]
+    leaf.remove_ref(oid)
+    orphans: list[tuple[Entry, int]] = []
+    _condense(tree, path, orphans)
+    _shrink_root(tree)
+    if orphans:
+        inserter = RStarInserter(tree)
+        for entry, level in orphans:
+            inserter.insert_entry(entry, level)
+        _shrink_root(tree)
+    return True
+
+
+def _find_leaf(
+    tree, page_id: int, rect: Rect, oid: int, path: list[Node]
+) -> list[Node] | None:
+    """Depth-first search for the leaf containing the exact entry."""
+    node = tree._get_node(page_id)
+    path = path + [node]
+    if node.is_leaf:
+        for entry in node.entries:
+            if entry.ref == oid and entry.rect == rect:
+                return path
+        return None
+    for entry in node.entries:
+        if entry.rect.contains(rect):
+            found = _find_leaf(tree, entry.ref, rect, oid, path)
+            if found is not None:
+                return found
+    return None
+
+
+def _condense(tree, path: list[Node], orphans: list[tuple[Entry, int]]) -> None:
+    """Walk the path bottom-up, dissolving underfull nodes."""
+    for depth in range(len(path) - 1, 0, -1):
+        node = path[depth]
+        parent = path[depth - 1]
+        if len(node.entries) < tree.min_entries:
+            parent.remove_ref(node.page_id)
+            for entry in node.entries:
+                orphans.append((entry, node.level))
+            tree.store.free(node.page_id)
+        else:
+            parent.replace_entry(
+                node.page_id, Entry(node.mbr(), node.page_id)
+            )
+
+
+def _shrink_root(tree) -> None:
+    """Collapse a single-child directory root (possibly repeatedly)."""
+    while True:
+        root = tree._get_node(tree.root_id)
+        if root.is_leaf or len(root.entries) != 1:
+            return
+        child_id = root.entries[0].ref
+        tree.store.free(tree.root_id)
+        tree.root_id = child_id

@@ -1,0 +1,36 @@
+"""R-tree node entries.
+
+An entry couples a rectangle with a reference: in a directory node the
+reference is a child page id, in a leaf node it is the data object's id.
+The rectangle in a leaf entry *is* the data object's MBR, so leaf entries
+double as the "objects" the distance join returns — exactly the paper's
+model, where objects are their MBR approximations at the index level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One slot of an R-tree node: ``(rect, ref)``.
+
+    ``ref`` is a child page id (directory entry) or an object id (leaf
+    entry); which one is determined by the level of the containing node.
+    """
+
+    rect: Rect
+    ref: int
+
+    def as_record(self) -> tuple[float, float, float, float, int]:
+        """Flatten for the binary page codec."""
+        r = self.rect
+        return (r.xmin, r.ymin, r.xmax, r.ymax, self.ref)
+
+    @classmethod
+    def from_record(cls, record: tuple[float, float, float, float, int]) -> "Entry":
+        xmin, ymin, xmax, ymax, ref = record
+        return cls(Rect(xmin, ymin, xmax, ymax), ref)

@@ -1,0 +1,73 @@
+"""R-tree nodes.
+
+A node is a page-resident list of entries plus its level: level 0 is a
+leaf (entries reference objects), higher levels are directory nodes
+(entries reference child pages).  Nodes know their own MBR but not their
+parent; parentage is recovered by the insertion path walk in
+:mod:`repro.rtree.rstar`, which keeps nodes independent of tree bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+from repro.rtree.entries import Entry
+
+
+@dataclass(slots=True)
+class Node:
+    """A single R-tree node.
+
+    Attributes
+    ----------
+    page_id:
+        The page this node occupies in the store.
+    level:
+        0 for leaves; the root has the highest level in the tree.
+    entries:
+        The node's slots; between ``m`` and ``M`` of them except for the
+        root, which may hold as few as one.
+    """
+
+    page_id: int
+    level: int
+    entries: list[Entry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValueError(f"node {self.page_id} has no entries")
+        return Rect.union_of(entry.rect for entry in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        self.entries.append(entry)
+
+    def remove_ref(self, ref: int) -> Entry:
+        """Remove and return the entry referencing ``ref``."""
+        for i, entry in enumerate(self.entries):
+            if entry.ref == ref:
+                return self.entries.pop(i)
+        raise KeyError(f"node {self.page_id} has no entry for ref {ref}")
+
+    def entry_for(self, ref: int) -> Entry:
+        """Return the entry referencing ``ref``."""
+        for entry in self.entries:
+            if entry.ref == ref:
+                return entry
+        raise KeyError(f"node {self.page_id} has no entry for ref {ref}")
+
+    def replace_entry(self, ref: int, new_entry: Entry) -> None:
+        """Swap the entry referencing ``ref`` for ``new_entry``."""
+        for i, entry in enumerate(self.entries):
+            if entry.ref == ref:
+                self.entries[i] = new_entry
+                return
+        raise KeyError(f"node {self.page_id} has no entry for ref {ref}")
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,251 @@
+"""R*-tree insertion: ChooseSubtree, split, forced reinsertion.
+
+Implements the insertion algorithms of Beckmann, Kriegel, Schneider and
+Seeger (SIGMOD 1990):
+
+- **ChooseSubtree** descends by least overlap enlargement when the
+  children are leaves, and by least area enlargement otherwise (ties
+  broken by area enlargement, then area).
+- **OverflowTreatment** performs one *forced reinsert* per level per data
+  insertion (the 30% of entries whose centers lie farthest from the node
+  center are removed and re-inserted, closest first), and splits
+  otherwise.
+- **Split** picks the split axis by minimum total margin over all legal
+  distributions, then the distribution with minimum overlap (ties by
+  minimum combined area).
+
+The inserter is deliberately independent of :class:`repro.rtree.tree.RTree`
+— it talks to a small duck-typed surface (`_get_node`, `_alloc_node`,
+``root_id``, ``max_entries``, ``min_entries``) so it can be unit tested
+against a trivial in-memory harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.geometry.rect import Rect
+from repro.rtree.entries import Entry
+from repro.rtree.node import Node
+
+#: Fraction of a node's entries removed by forced reinsertion (R* paper).
+REINSERT_FRACTION = 0.3
+
+
+class _TreeLike(Protocol):
+    """The surface of RTree that the inserter needs."""
+
+    root_id: int
+    max_entries: int
+    min_entries: int
+
+    def _get_node(self, page_id: int) -> Node: ...
+
+    def _alloc_node(self, level: int) -> Node: ...
+
+    def _grow_root(self, first: Entry, second: Entry, level: int) -> None: ...
+
+
+class RStarInserter:
+    """Stateful executor for one or more data insertions into a tree."""
+
+    def __init__(self, tree: _TreeLike) -> None:
+        self._tree = tree
+        self._reinserted_levels: set[int] = set()
+        self._pending: list[tuple[Entry, int]] = []
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, ref: int) -> None:
+        """Insert one data entry, running the full R* overflow protocol."""
+        self.insert_entry(Entry(rect, ref), 0)
+
+    def insert_entry(self, entry: Entry, level: int) -> None:
+        """Insert ``entry`` at ``level`` (0 = data; higher = subtree roots).
+
+        Used both for ordinary data insertion and for reinserting the
+        orphans produced by deletion's CondenseTree.
+        """
+        self._reinserted_levels.clear()
+        self._pending.append((entry, level))
+        while self._pending:
+            pending_entry, pending_level = self._pending.pop(0)
+            root = self._tree._get_node(self._tree.root_id)
+            split = self._insert_rec(root, pending_entry, pending_level)
+            if split is not None:
+                old_root_entry = Entry(root.mbr(), root.page_id)
+                self._tree._grow_root(old_root_entry, split, root.level + 1)
+
+    # ------------------------------------------------------------------
+    # Recursive insertion
+    # ------------------------------------------------------------------
+
+    def _insert_rec(self, node: Node, entry: Entry, target_level: int) -> Entry | None:
+        """Insert ``entry`` into the subtree at ``node``.
+
+        Returns the entry for a newly created sibling when ``node`` was
+        split, else ``None``.  The caller is responsible for refreshing
+        its directory entry for ``node`` (done below on the way up).
+        """
+        if node.level == target_level:
+            node.add(entry)
+        else:
+            child_entry = self._choose_subtree(node, entry.rect, target_level)
+            child = self._tree._get_node(child_entry.ref)
+            split = self._insert_rec(child, entry, target_level)
+            node.replace_entry(child.page_id, Entry(child.mbr(), child.page_id))
+            if split is not None:
+                node.add(split)
+        if len(node) > self._tree.max_entries:
+            return self._overflow(node)
+        return None
+
+    def _choose_subtree(self, node: Node, rect: Rect, target_level: int) -> Entry:
+        """R* ChooseSubtree for descending one level toward ``target_level``."""
+        entries = node.entries
+        if node.level - 1 == 0 and target_level == 0:
+            # Children are leaves: minimize overlap enlargement.
+            return min(
+                entries,
+                key=lambda e: (
+                    self._overlap_enlargement(entries, e, rect),
+                    e.rect.enlargement(rect),
+                    e.rect.area(),
+                ),
+            )
+        return min(
+            entries, key=lambda e: (e.rect.enlargement(rect), e.rect.area())
+        )
+
+    @staticmethod
+    def _overlap_enlargement(entries: list[Entry], target: Entry, rect: Rect) -> float:
+        """Increase in total overlap with siblings if ``target`` absorbs ``rect``."""
+        enlarged = target.rect.union(rect)
+        before = 0.0
+        after = 0.0
+        for other in entries:
+            if other is target:
+                continue
+            before += target.rect.intersection_area(other.rect)
+            after += enlarged.intersection_area(other.rect)
+        return after - before
+
+    # ------------------------------------------------------------------
+    # Overflow treatment
+    # ------------------------------------------------------------------
+
+    def _overflow(self, node: Node) -> Entry | None:
+        """Forced reinsert on the first overflow per level, split after."""
+        is_root = node.page_id == self._tree.root_id
+        if not is_root and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._force_reinsert(node)
+            return None
+        return self._split(node)
+
+    def _force_reinsert(self, node: Node) -> None:
+        """Remove the 30% farthest entries and queue them for reinsertion."""
+        count = max(int(round(REINSERT_FRACTION * self._tree.max_entries)), 1)
+        cx, cy = node.mbr().center()
+
+        def distance_from_center(entry: Entry) -> float:
+            ex, ey = entry.rect.center()
+            return math.hypot(ex - cx, ey - cy)
+
+        node.entries.sort(key=distance_from_center)
+        removed = node.entries[-count:]
+        del node.entries[-count:]
+        # "Close reinsert": nearest removed entries first.
+        for entry in removed:
+            self._pending.append((entry, node.level))
+
+    # ------------------------------------------------------------------
+    # R* split
+    # ------------------------------------------------------------------
+
+    def _split(self, node: Node) -> Entry:
+        """Split an overflowing node; returns the new sibling's entry."""
+        group_a, group_b = choose_split(
+            node.entries, self._tree.min_entries
+        )
+        node.entries = group_a
+        sibling = self._tree._alloc_node(node.level)
+        sibling.entries = group_b
+        return Entry(sibling.mbr(), sibling.page_id)
+
+
+def choose_split(
+    entries: list[Entry], min_entries: int
+) -> tuple[list[Entry], list[Entry]]:
+    """R* split of ``len(entries)`` (= M+1) entries into two groups.
+
+    Exposed as a free function for direct unit testing.
+    """
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"cannot split {len(entries)} entries with minimum fill {min_entries}"
+        )
+    best_axis = _choose_split_axis(entries, min_entries)
+    return _choose_split_distribution(entries, min_entries, best_axis)
+
+
+def _sorted_by(entries: list[Entry], axis: int, by_upper: bool) -> list[Entry]:
+    if by_upper:
+        return sorted(entries, key=lambda e: (e.rect.hi(axis), e.rect.lo(axis)))
+    return sorted(entries, key=lambda e: (e.rect.lo(axis), e.rect.hi(axis)))
+
+
+def _prefix_suffix_unions(entries: list[Entry]) -> tuple[list[Rect], list[Rect]]:
+    """Running bounding boxes from the left and from the right."""
+    n = len(entries)
+    prefix: list[Rect] = [entries[0].rect] * n
+    for i in range(1, n):
+        prefix[i] = prefix[i - 1].union(entries[i].rect)
+    suffix: list[Rect] = [entries[-1].rect] * n
+    for i in range(n - 2, -1, -1):
+        suffix[i] = suffix[i + 1].union(entries[i].rect)
+    return prefix, suffix
+
+
+def _distributions(n: int, m: int) -> range:
+    """Legal sizes of the first group: ``m .. n - m``."""
+    return range(m, n - m + 1)
+
+
+def _choose_split_axis(entries: list[Entry], m: int) -> int:
+    """Axis whose distributions have the smallest total margin."""
+    best_axis = 0
+    best_margin = math.inf
+    for axis in (0, 1):
+        margin_sum = 0.0
+        for by_upper in (False, True):
+            ordered = _sorted_by(entries, axis, by_upper)
+            prefix, suffix = _prefix_suffix_unions(ordered)
+            for k in _distributions(len(entries), m):
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin()
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+    return best_axis
+
+
+def _choose_split_distribution(
+    entries: list[Entry], m: int, axis: int
+) -> tuple[list[Entry], list[Entry]]:
+    """Minimum-overlap (then minimum-area) distribution along ``axis``."""
+    best: tuple[float, float] = (math.inf, math.inf)
+    best_groups: tuple[list[Entry], list[Entry]] | None = None
+    for by_upper in (False, True):
+        ordered = _sorted_by(entries, axis, by_upper)
+        prefix, suffix = _prefix_suffix_unions(ordered)
+        for k in _distributions(len(entries), m):
+            bb1, bb2 = prefix[k - 1], suffix[k]
+            score = (bb1.intersection_area(bb2), bb1.area() + bb2.area())
+            if score < best:
+                best = score
+                best_groups = (ordered[:k], ordered[k:])
+    assert best_groups is not None
+    return best_groups

@@ -1,0 +1,39 @@
+"""A miniature SQL front-end for distance join queries.
+
+The paper motivates everything with one query::
+
+    SELECT h.name, r.name
+    FROM Hotel h, Restaurant r
+    ORDER BY distance(h.location, r.location)
+    STOP AFTER k;
+
+This package executes exactly that dialect: two-table queries ordered by
+``distance(...)``, with an optional conjunctive ``WHERE`` and an optional
+``STOP AFTER``.  The planner picks the engine the paper would:
+
+- ``STOP AFTER k`` and no residual predicate → **AM-KDJ** (k known);
+- a residual predicate or no ``STOP AFTER`` → **AM-IDJ** pipelined into
+  the filter (k unknown — the paper's Section 4.2 scenario);
+- single-table predicates are pushed down below the join (the filtered
+  subset gets its own temporary R*-tree).
+
+Usage::
+
+    from repro.sql import Database
+
+    db = Database()
+    db.create_table("hotel", hotel_rows, location="location")
+    db.create_table("restaurant", restaurant_rows, location="location")
+    result = db.query(
+        "SELECT h.name, r.name FROM hotel h, restaurant r "
+        "ORDER BY distance(h.location, r.location) STOP AFTER 10"
+    )
+    for row in result.rows:
+        print(row["h.name"], row["r.name"], row["distance"])
+"""
+
+from repro.sql.catalog import Database, Table
+from repro.sql.executor import QueryResult
+from repro.sql.parser import SqlError, parse
+
+__all__ = ["Database", "QueryResult", "SqlError", "Table", "parse"]

@@ -1,0 +1,104 @@
+"""Tables and the database facade.
+
+A :class:`Table` is a list of row dictionaries plus the name of the
+*location* attribute, which must hold a point ``(x, y)`` or a
+:class:`~repro.geometry.Rect`.  An R*-tree over the locations is built
+eagerly; row ids are positions in the row list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.api import JoinConfig
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+from repro.sql.parser import SqlError
+
+
+class Table:
+    """A named row collection with a spatial location attribute."""
+
+    def __init__(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        location: str = "location",
+    ) -> None:
+        self.name = name
+        self.location = location
+        self.rows: list[dict[str, Any]] = [dict(row) for row in rows]
+        for i, row in enumerate(self.rows):
+            if location not in row:
+                raise SqlError(
+                    f"table {name!r} row {i} lacks location attribute "
+                    f"{location!r}"
+                )
+        self.index = build_index(self.rows, location)
+
+    def subset(self, keep: Iterable[int]) -> "Table":
+        """A temporary table of selected rows (predicate pushdown).
+
+        Row ids of the subset map back to the parent through
+        ``subset_ids``.
+        """
+        keep = list(keep)
+        table = Table.__new__(Table)
+        table.name = f"{self.name}*"
+        table.location = self.location
+        table.rows = [self.rows[i] for i in keep]
+        table.index = build_index(table.rows, self.location)
+        table.subset_ids = keep  # type: ignore[attr-defined]
+        return table
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def location_rect(value: Any) -> Rect:
+    """Coerce a location attribute value to a rectangle."""
+    if isinstance(value, Rect):
+        return value
+    try:
+        x, y = value
+        return Rect.from_point(float(x), float(y))
+    except (TypeError, ValueError) as exc:
+        raise SqlError(
+            f"location value {value!r} is neither a Rect nor an (x, y) pair"
+        ) from exc
+
+
+def build_index(rows: Sequence[Mapping[str, Any]], location: str) -> RTree:
+    items = [(location_rect(row[location]), i) for i, row in enumerate(rows)]
+    return RTree.bulk_load(items)
+
+
+class Database:
+    """A registry of tables plus the query entry point."""
+
+    def __init__(self, config: JoinConfig | None = None) -> None:
+        self.tables: dict[str, Table] = {}
+        self.config = config or JoinConfig()
+
+    def create_table(
+        self,
+        name: str,
+        rows: Sequence[Mapping[str, Any]],
+        location: str = "location",
+    ) -> Table:
+        """Register (or replace) a table and build its spatial index."""
+        table = Table(name.lower(), rows, location)
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise SqlError(f"unknown table {name!r}") from None
+
+    def query(self, text: str, batch_hint: int = 256):
+        """Parse, plan and execute a distance join query."""
+        from repro.sql.executor import execute
+
+        return execute(self, text, batch_hint=batch_hint)

@@ -1,0 +1,263 @@
+"""Planner and executor for the distance join dialect.
+
+Planning decisions (printed in :attr:`QueryResult.plan`):
+
+1. **Predicate pushdown** — every WHERE comparison that references a
+   single table is evaluated against that table's rows first; the
+   surviving subset gets a temporary R*-tree.  Only *residual* (cross-
+   table) predicates remain on the join output.
+2. **Engine choice** — with ``STOP AFTER k`` and no residual predicate,
+   AM-KDJ answers the query exactly with k known.  With residual
+   predicates the number of join pairs needed is unknown, so AM-IDJ
+   streams pairs into the filter until k rows qualify (the paper's
+   pipelined sub-query scenario).  Without ``STOP AFTER`` the stream is
+   simply exhausted.
+"""
+
+from __future__ import annotations
+
+import operator
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.core.pairs import ResultPair
+from repro.core.stats import JoinStats
+from repro.sql.catalog import Database, Table
+from repro.sql.parser import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    Query,
+    SqlError,
+    parse,
+)
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(slots=True)
+class QueryResult:
+    """Rows plus the plan and the underlying join run's metrics."""
+
+    rows: list[dict[str, Any]]
+    plan: list[str]
+    stats: JoinStats
+    pairs_scanned: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def execute(db: Database, text: str, batch_hint: int = 256) -> QueryResult:
+    query = parse(text)
+    left_ref, right_ref = query.tables
+    left = db.table(left_ref.name)
+    right = db.table(right_ref.name)
+    aliases = {left_ref.alias: left, right_ref.alias: right}
+    plan: list[str] = []
+
+    _check_order_by(query, aliases)
+    _check_select(query, aliases)
+
+    local, residual = _split_predicates(query.where, query.tables)
+    left_used, left_ids = _apply_pushdown(left, local.get(left_ref.alias, []), plan, left_ref.alias)
+    right_used, right_ids = _apply_pushdown(right, local.get(right_ref.alias, []), plan, right_ref.alias)
+
+    runner = JoinRunner(
+        left_used.index, right_used.index,
+        _config_with_hint(db.config, query, batch_hint),
+    )
+    started = time.perf_counter()
+
+    def materialize(pair: ResultPair) -> dict[str, Any]:
+        row_left = left.rows[left_ids[pair.ref_r]]
+        row_right = right.rows[right_ids[pair.ref_s]]
+        return _project(query, left_ref.alias, row_left, right_ref.alias,
+                        row_right, pair.distance)
+
+    rows: list[dict[str, Any]] = []
+    scanned = 0
+    if query.stop_after is not None and not residual:
+        plan.append(
+            f"AM-KDJ(k={query.stop_after}) over "
+            f"{left_used.name} x {right_used.name}"
+        )
+        result = runner.kdj(query.stop_after, "amkdj")
+        stats = result.stats
+        scanned = len(result)
+        rows = [materialize(pair) for pair in result.results]
+    else:
+        wanted = query.stop_after
+        plan.append(
+            f"AM-IDJ over {left_used.name} x {right_used.name}"
+            + (f" piped into residual filter, stop after {wanted}"
+               if residual else " (no stopping cardinality)")
+        )
+        stream = runner.idj("amidj")
+        for pair in stream:
+            scanned += 1
+            row_left = left.rows[left_ids[pair.ref_r]]
+            row_right = right.rows[right_ids[pair.ref_s]]
+            if _passes(residual, left_ref.alias, row_left,
+                       right_ref.alias, row_right):
+                rows.append(
+                    _project(query, left_ref.alias, row_left,
+                             right_ref.alias, row_right, pair.distance)
+                )
+                if wanted is not None and len(rows) == wanted:
+                    break
+        stats = stream.stats()
+    stats.wall_time = time.perf_counter() - started
+    return QueryResult(rows=rows, plan=plan, stats=stats, pairs_scanned=scanned)
+
+
+# ----------------------------------------------------------------------
+# Planning helpers
+# ----------------------------------------------------------------------
+
+
+def _check_order_by(query: Query, aliases: dict[str, Table]) -> None:
+    for ref in (query.order_left, query.order_right):
+        table = aliases.get(ref.alias)
+        if table is None:
+            raise SqlError(f"ORDER BY references unknown alias {ref.alias!r}")
+        if ref.column != table.location:
+            raise SqlError(
+                f"ORDER BY distance() must use the location attribute "
+                f"{table.location!r} of table {table.name!r}, got {ref.column!r}"
+            )
+    order_aliases = {query.order_left.alias, query.order_right.alias}
+    if order_aliases != set(aliases):
+        raise SqlError("ORDER BY distance() must reference both tables")
+
+
+def _check_select(query: Query, aliases: dict[str, Table]) -> None:
+    for item in query.select:
+        if item == "distance":
+            continue
+        assert isinstance(item, ColumnRef)
+        table = aliases.get(item.alias)
+        if table is None:
+            raise SqlError(f"SELECT references unknown alias {item.alias!r}")
+        if table.rows and item.column not in table.rows[0]:
+            raise SqlError(
+                f"table {table.name!r} has no column {item.column!r}"
+            )
+
+
+def _split_predicates(
+    where: tuple[Comparison, ...], tables
+) -> tuple[dict[str, list[Comparison]], list[Comparison]]:
+    """Partition WHERE into per-table (pushdownable) and residual."""
+    known = {t.alias for t in tables}
+    local: dict[str, list[Comparison]] = {}
+    residual: list[Comparison] = []
+    for comparison in where:
+        refs = {
+            side.alias
+            for side in (comparison.left, comparison.right)
+            if isinstance(side, ColumnRef)
+        }
+        unknown = refs - known
+        if unknown:
+            raise SqlError(f"WHERE references unknown alias {unknown.pop()!r}")
+        if len(refs) == 1:
+            local.setdefault(next(iter(refs)), []).append(comparison)
+        else:
+            residual.append(comparison)
+    return local, residual
+
+
+def _apply_pushdown(
+    table: Table, predicates: list[Comparison], plan: list[str], alias: str
+) -> tuple[Table, list[int]]:
+    """Filter a base table by its local predicates; returns id mapping."""
+    if not predicates:
+        return table, list(range(len(table.rows)))
+    keep = [
+        i
+        for i, row in enumerate(table.rows)
+        if all(_evaluate(c, {alias: row}) for c in predicates)
+    ]
+    plan.append(
+        f"pushdown on {table.name}: {len(predicates)} predicate(s), "
+        f"{len(keep)}/{len(table.rows)} rows survive (temp index built)"
+    )
+    return table.subset(keep), keep
+
+
+def _operand_value(side, rows: dict[str, dict[str, Any]]) -> Any:
+    if isinstance(side, Literal):
+        return side.value
+    row = rows.get(side.alias)
+    if row is None:
+        raise SqlError(f"predicate references unknown alias {side.alias!r}")
+    try:
+        return row[side.column]
+    except KeyError:
+        raise SqlError(f"row has no column {side.column!r}") from None
+
+
+def _evaluate(comparison: Comparison, rows: dict[str, dict[str, Any]]) -> bool:
+    left = _operand_value(comparison.left, rows)
+    right = _operand_value(comparison.right, rows)
+    try:
+        return _OPS[comparison.op](left, right)
+    except TypeError as exc:
+        raise SqlError(
+            f"cannot compare {left!r} {comparison.op} {right!r}"
+        ) from exc
+
+
+def _passes(
+    residual: list[Comparison],
+    left_alias: str,
+    row_left: dict[str, Any],
+    right_alias: str,
+    row_right: dict[str, Any],
+) -> bool:
+    rows = {left_alias: row_left, right_alias: row_right}
+    return all(_evaluate(c, rows) for c in residual)
+
+
+def _project(
+    query: Query,
+    left_alias: str,
+    row_left: dict[str, Any],
+    right_alias: str,
+    row_right: dict[str, Any],
+    distance: float,
+) -> dict[str, Any]:
+    if query.select_star:
+        out = {f"{left_alias}.{k}": v for k, v in row_left.items()}
+        out.update({f"{right_alias}.{k}": v for k, v in row_right.items()})
+        out["distance"] = distance
+        return out
+    out = {}
+    rows = {left_alias: row_left, right_alias: row_right}
+    for item in query.select:
+        if item == "distance":
+            out["distance"] = distance
+        else:
+            assert isinstance(item, ColumnRef)
+            out[str(item)] = _operand_value(item, rows)
+    return out
+
+
+def _config_with_hint(config: JoinConfig, query: Query, batch_hint: int):
+    from dataclasses import replace
+
+    hint = query.stop_after if query.stop_after is not None else batch_hint
+    return replace(config, initial_k=max(hint, 1))

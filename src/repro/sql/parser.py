@@ -1,0 +1,263 @@
+"""Tokenizer, AST and recursive-descent parser for the query dialect.
+
+Grammar (keywords case-insensitive)::
+
+    query      = SELECT select_list
+                 FROM table_ref "," table_ref
+                 [ WHERE conjunction ]
+                 ORDER BY DISTANCE "(" qualified "," qualified ")"
+                 [ STOP AFTER integer ] [ ";" ]
+    select_list = "*" | select_item { "," select_item }
+    select_item = qualified | DISTANCE
+    table_ref  = identifier [ identifier ]          # name [alias]
+    conjunction = comparison { AND comparison }
+    comparison = operand op operand
+    operand    = qualified | number | string
+    qualified  = identifier "." identifier
+    op         = "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class SqlError(ValueError):
+    """Raised for any lexical, syntactic or semantic query problem."""
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """``alias.column``."""
+
+    alias: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A number or string constant."""
+
+    value: float | str
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``left op right``."""
+
+    left: "ColumnRef | Literal"
+    op: str
+    right: "ColumnRef | Literal"
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """``name [alias]`` in the FROM clause."""
+
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """One parsed distance join query."""
+
+    select: tuple["ColumnRef | str", ...]  # ColumnRef or the string "distance"
+    select_star: bool
+    tables: tuple[TableRef, TableRef]
+    where: tuple[Comparison, ...]
+    order_left: ColumnRef
+    order_right: ColumnRef
+    stop_after: int | None
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.;*])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {"select", "from", "where", "order", "by", "stop", "after",
+            "and", "distance"}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # keyword | ident | number | string | op | punct | end
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value.lower() in KEYWORDS:
+            tokens.append(_Token("keyword", value.lower(), match.start()))
+        else:
+            assert kind is not None
+            tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise SqlError(
+                f"expected {wanted!r} at position {token.position}, "
+                f"found {token.text or 'end of query'!r}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect("keyword", "select")
+        select, star = self._select_list()
+        self._expect("keyword", "from")
+        first = self._table_ref()
+        self._expect("punct", ",")
+        second = self._table_ref()
+        if first.alias == second.alias:
+            raise SqlError(f"duplicate table alias {first.alias!r}")
+        where: tuple[Comparison, ...] = ()
+        if self._accept("keyword", "where"):
+            where = self._conjunction()
+        self._expect("keyword", "order")
+        self._expect("keyword", "by")
+        self._expect("keyword", "distance")
+        self._expect("punct", "(")
+        order_left = self._qualified()
+        self._expect("punct", ",")
+        order_right = self._qualified()
+        self._expect("punct", ")")
+        stop_after = None
+        if self._accept("keyword", "stop"):
+            self._expect("keyword", "after")
+            number = self._expect("number")
+            if "." in number.text:
+                raise SqlError("STOP AFTER takes an integer")
+            stop_after = int(number.text)
+            if stop_after <= 0:
+                raise SqlError("STOP AFTER must be positive")
+        self._accept("punct", ";")
+        self._expect("end")
+        return Query(
+            select=tuple(select),
+            select_star=star,
+            tables=(first, second),
+            where=where,
+            order_left=order_left,
+            order_right=order_right,
+            stop_after=stop_after,
+        )
+
+    def _select_list(self) -> tuple[list[ColumnRef | str], bool]:
+        if self._accept("punct", "*"):
+            return [], True
+        items: list[ColumnRef | str] = [self._select_item()]
+        while self._accept("punct", ","):
+            items.append(self._select_item())
+        return items, False
+
+    def _select_item(self) -> ColumnRef | str:
+        if self._accept("keyword", "distance"):
+            return "distance"
+        return self._qualified()
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect("ident").text
+        alias_token = self._accept("ident")
+        alias = alias_token.text if alias_token else name
+        return TableRef(name=name, alias=alias)
+
+    def _conjunction(self) -> tuple[Comparison, ...]:
+        comparisons = [self._comparison()]
+        while self._accept("keyword", "and"):
+            comparisons.append(self._comparison())
+        return tuple(comparisons)
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        op_token = self._expect("op")
+        op = "!=" if op_token.text == "<>" else op_token.text
+        right = self._operand()
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            raise SqlError("comparison must reference at least one column")
+        return Comparison(left, op, right)
+
+    def _operand(self) -> ColumnRef | Literal:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return Literal(float(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.text[1:-1].replace("''", "'"))
+        return self._qualified()
+
+    def _qualified(self) -> ColumnRef:
+        alias = self._expect("ident").text
+        self._expect("punct", ".")
+        column = self._expect("ident").text
+        return ColumnRef(alias=alias, column=column)
+
+
+def parse(text: str) -> Query:
+    """Parse one query; raises :class:`SqlError` on any problem."""
+    return _Parser(text).parse_query()

@@ -1,0 +1,25 @@
+"""Simulated storage substrate.
+
+The paper measures response time on a Sun Ultra-II with a locally attached
+Seagate ST39140A (about 0.5 MB/s for random access, 5 MB/s sequential, with
+Solaris direct I/O).  This package reproduces that environment in
+simulation:
+
+- :class:`~repro.storage.cost.CostModel` holds the device and CPU cost
+  parameters;
+- :class:`~repro.storage.disk.SimulatedDisk` advances a simulated clock as
+  pages are read and written;
+- :class:`~repro.storage.pages.PageStore` is the page-addressed store
+  R-tree nodes and queue segments live in;
+- :class:`~repro.storage.buffer.BufferPool` is the LRU page buffer whose
+  hit/miss counters produce the paper's Table 2;
+- :mod:`~repro.storage.serial` packs R-tree nodes into page-sized byte
+  buffers, keeping the simulation honest about what fits in a 4 KB page.
+"""
+
+from repro.storage.cost import CostModel
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.pages import PageStore
+from repro.storage.buffer import BufferPool
+
+__all__ = ["BufferPool", "CostModel", "DiskStats", "PageStore", "SimulatedDisk"]

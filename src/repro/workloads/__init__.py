@@ -1,0 +1,35 @@
+"""Experiment drivers reproducing the paper's evaluation (Section 5).
+
+Each experiment function runs one table or figure's parameter sweep and
+returns plain row dictionaries; :mod:`repro.workloads.tables` renders
+them in the paper's layout.  The benchmark suite under ``benchmarks/``
+wraps these drivers with pytest-benchmark; the drivers are equally usable
+from a REPL or script.
+"""
+
+from repro.workloads.experiments import (
+    ExperimentSetup,
+    experiment_fig10_kdj,
+    experiment_fig11_planesweep,
+    experiment_fig12_idj,
+    experiment_fig13_memory,
+    experiment_fig14_edmax,
+    experiment_fig15_stepwise,
+    experiment_table2_node_accesses,
+    make_setup,
+)
+from repro.workloads.tables import format_table, print_table
+
+__all__ = [
+    "ExperimentSetup",
+    "experiment_fig10_kdj",
+    "experiment_fig11_planesweep",
+    "experiment_fig12_idj",
+    "experiment_fig13_memory",
+    "experiment_fig14_edmax",
+    "experiment_fig15_stepwise",
+    "experiment_table2_node_accesses",
+    "format_table",
+    "make_setup",
+    "print_table",
+]

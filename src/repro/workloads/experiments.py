@@ -1,0 +1,362 @@
+"""Drivers for every table and figure in the paper's evaluation.
+
+Defaults reproduce the paper's setup at one-tenth scale (see DESIGN.md):
+the synthetic TIGER substitute at 60,000 streets x 20,000 hydrographic
+objects, 4 KB pages, 512 KB queue memory, 512 KB R-tree buffer, and a
+stopping-cardinality sweep ending at 30,000 (the paper's 100,000 scaled
+by dataset size).  ``REPRO_SCALE`` multiplies the dataset cardinalities
+and the k sweep together, so larger runs keep the same k-to-data ratio.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.datagen.tiger import synthetic_tiger
+from repro.rtree.tree import RTree
+from repro.storage.cost import KIB
+
+#: The paper's k sweep (10 .. 100,000), scaled to the default dataset.
+DEFAULT_KDJ_KS = (10, 100, 1000, 10000, 30000)
+
+#: Memory sweep of Figure 13 (KB), paper values.
+DEFAULT_MEMORY_KB = (64, 128, 256, 512, 1024)
+
+#: eDmax accuracy sweep of Figure 14, in multiples of the true Dmax.
+DEFAULT_EDMAX_FACTORS = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass
+class ExperimentSetup:
+    """Built indexes plus a cache of true Dmax values."""
+
+    name: str
+    tree_r: RTree
+    tree_s: RTree
+    _dmax_cache: dict[int, float] = field(default_factory=dict)
+
+    def runner(self, **config_kwargs) -> JoinRunner:
+        return JoinRunner(self.tree_r, self.tree_s, JoinConfig(**config_kwargs))
+
+    def true_dmax(self, k: int) -> float:
+        """Exact k-th pair distance (oracle), cached per setup."""
+        if k not in self._dmax_cache:
+            self._dmax_cache[k] = self.runner().true_dmax(k)
+        return self._dmax_cache[k]
+
+
+_SETUP_CACHE: dict[tuple, ExperimentSetup] = {}
+
+
+def scale_factor() -> float:
+    """``REPRO_SCALE`` environment multiplier (default 1.0)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled_ks(ks: tuple[int, ...] = DEFAULT_KDJ_KS) -> list[int]:
+    """The k sweep scaled with the dataset, deduplicated and ordered."""
+    scale = scale_factor()
+    out = sorted({max(int(k * scale), 1) for k in ks})
+    return out
+
+
+def make_setup(
+    n_streets: int | None = None,
+    n_hydro: int | None = None,
+    seed: int = 1997,
+) -> ExperimentSetup:
+    """Build (and memoize) the default experiment dataset and indexes."""
+    scale = scale_factor()
+    n_streets = n_streets if n_streets is not None else int(60_000 * scale)
+    n_hydro = n_hydro if n_hydro is not None else int(20_000 * scale)
+    key = (n_streets, n_hydro, seed)
+    if key not in _SETUP_CACHE:
+        data = synthetic_tiger(n_streets=n_streets, n_hydro=n_hydro, seed=seed)
+        _SETUP_CACHE[key] = ExperimentSetup(
+            name=f"tiger-{n_streets}x{n_hydro}",
+            tree_r=RTree.bulk_load(data.streets),
+            tree_s=RTree.bulk_load(data.hydro),
+        )
+    return _SETUP_CACHE[key]
+
+
+def _kdj_row(setup: ExperimentSetup, k: int, algorithm: str, **cfg) -> dict:
+    runner = setup.runner(**cfg)
+    dmax = setup.true_dmax(k) if algorithm == "sjsort" else None
+    result = runner.kdj(k, algorithm, dmax=dmax)
+    s = result.stats
+    return {
+        "k": k,
+        "algorithm": s.algorithm,
+        "dist_comps": s.real_distance_computations,
+        "axis_comps": s.axis_distance_computations,
+        "queue_insertions": s.queue_insertions,
+        "node_accesses": s.node_accesses,
+        "node_accesses_unbuffered": s.node_accesses_unbuffered,
+        "response_time_s": s.response_time,
+        "wall_time_s": s.wall_time,
+        "compensation": s.compensation_stages,
+        "edmax": s.edmax_initial,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — k-distance join performance vs k
+# ----------------------------------------------------------------------
+
+
+def experiment_fig10_kdj(
+    setup: ExperimentSetup,
+    ks: list[int] | None = None,
+    algorithms: tuple[str, ...] = ("hs", "bkdj", "amkdj", "sjsort"),
+) -> list[dict]:
+    """Figure 10(a,b,c): the three metrics for the four KDJ algorithms."""
+    rows = []
+    for k in ks if ks is not None else scaled_ks():
+        for algorithm in algorithms:
+            rows.append(_kdj_row(setup, k, algorithm))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 — R-tree node accesses
+# ----------------------------------------------------------------------
+
+
+def experiment_table2_node_accesses(
+    setup: ExperimentSetup,
+    ks: list[int] | None = None,
+) -> list[dict]:
+    """Table 2: buffered node fetches (and unbuffered in parentheses)."""
+    if ks is None:
+        ks = [k for k in scaled_ks() if k >= 100]
+    rows = []
+    for k in ks:
+        row: dict = {"k": k}
+        for algorithm in ("hs", "bkdj", "amkdj", "sjsort"):
+            r = _kdj_row(setup, k, algorithm)
+            row[algorithm] = (
+                f"{r['node_accesses']:,} ({r['node_accesses_unbuffered']:,})"
+            )
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — optimized plane sweep on/off
+# ----------------------------------------------------------------------
+
+
+def experiment_fig11_planesweep(
+    setup: ExperimentSetup,
+    ks: list[int] | None = None,
+) -> list[dict]:
+    """Figure 11: distance computations with the sweep optimizations off.
+
+    The paper fixes the sweep to the x axis, forward direction, and
+    reports total (axis + real) distance computations for B-KDJ.
+    """
+    rows = []
+    for k in ks if ks is not None else scaled_ks():
+        optimized = _kdj_row(setup, k, "bkdj")
+        fixed = _kdj_row(
+            setup, k, "bkdj", optimize_axis=False, optimize_direction=False
+        )
+        total_opt = optimized["dist_comps"] + optimized["axis_comps"]
+        total_fixed = fixed["dist_comps"] + fixed["axis_comps"]
+        rows.append(
+            {
+                "k": k,
+                "total_comps_optimized": total_opt,
+                "total_comps_fixed": total_fixed,
+                "real_comps_optimized": optimized["dist_comps"],
+                "real_comps_fixed": fixed["dist_comps"],
+                "improvement_pct": 100.0 * (1.0 - total_opt / total_fixed)
+                if total_fixed
+                else 0.0,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — incremental distance joins
+# ----------------------------------------------------------------------
+
+
+def experiment_fig12_idj(
+    setup: ExperimentSetup,
+    ks: list[int] | None = None,
+    algorithms: tuple[str, ...] = ("hs", "amidj"),
+) -> list[dict]:
+    """Figure 12(a,b,c): IDJ metrics; k is the number of pairs pulled.
+
+    AM-IDJ is run fresh per k (its stage-one target ``k_1`` is the k the
+    user asks for, as in the paper).  HS-IDJ has no per-k state at all,
+    so its per-k numbers are snapshots of one progressively-pulled stream
+    — identical results, one traversal instead of len(ks).
+    """
+    ks = list(ks) if ks is not None else scaled_ks()
+    rows = []
+
+    def snapshot(k: int, got: int, stats) -> dict:
+        return {
+            "k": k,
+            "algorithm": stats.algorithm,
+            "results": got,
+            "dist_comps": stats.real_distance_computations,
+            "queue_insertions": stats.queue_insertions,
+            "node_accesses": stats.node_accesses,
+            "response_time_s": stats.response_time,
+            "wall_time_s": stats.wall_time,
+            "stages": stats.compensation_stages,
+        }
+
+    if "hs" in algorithms:
+        stream = setup.runner().idj("hs")
+        produced = 0
+        for k in ks:
+            produced += len(stream.next_batch(k - produced))
+            rows.append(snapshot(k, produced, stream.stats()))
+    for k in ks:
+        for algorithm in algorithms:
+            if algorithm == "hs":
+                continue
+            stream = setup.runner(initial_k=k).idj(algorithm)
+            got = stream.next_batch(k)
+            rows.append(snapshot(k, len(got), stream.stats()))
+    rows.sort(key=lambda row: (row["k"], row["algorithm"]))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — memory impact
+# ----------------------------------------------------------------------
+
+
+def experiment_fig13_memory(
+    setup: ExperimentSetup,
+    memory_kb: tuple[int, ...] = DEFAULT_MEMORY_KB,
+    k: int | None = None,
+    algorithms: tuple[str, ...] = ("hs", "bkdj", "amkdj", "sjsort"),
+) -> list[dict]:
+    """Figure 13: response time vs queue-memory/buffer size at the max k."""
+    if k is None:
+        k = scaled_ks()[-1]
+    rows = []
+    for kb in memory_kb:
+        for algorithm in algorithms:
+            row = _kdj_row(
+                setup, k, algorithm,
+                queue_memory=kb * KIB, buffer_memory=kb * KIB,
+            )
+            row["memory_kb"] = kb
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — eDmax estimation accuracy
+# ----------------------------------------------------------------------
+
+
+def experiment_fig14_edmax(
+    setup: ExperimentSetup,
+    factors: tuple[float, ...] = DEFAULT_EDMAX_FACTORS,
+    k: int | None = None,
+) -> list[dict]:
+    """Figure 14: AM-KDJ metrics as eDmax sweeps 0.1x..10x the true Dmax.
+
+    Includes the B-KDJ reference row (the convergence target for large
+    eDmax) and the Equation (3) estimate row.
+    """
+    if k is None:
+        k = scaled_ks()[-1]
+    dmax = setup.true_dmax(k)
+    rows = []
+    for factor in factors:
+        row = _kdj_row(setup, k, "amkdj", edmax=factor * dmax)
+        row["edmax_factor"] = factor
+        rows.append(row)
+    estimate = _kdj_row(setup, k, "amkdj")
+    estimate["edmax_factor"] = (
+        estimate["edmax"] / dmax if dmax > 0 else float("inf")
+    )
+    estimate["algorithm"] = "amkdj (eq.3)"
+    rows.append(estimate)
+    reference = _kdj_row(setup, k, "bkdj")
+    reference["edmax_factor"] = float("inf")
+    rows.append(reference)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 15 — stepwise incremental execution
+# ----------------------------------------------------------------------
+
+
+def experiment_fig15_stepwise(
+    setup: ExperimentSetup,
+    batches: int = 10,
+    total: int | None = None,
+) -> list[dict]:
+    """Figure 15: cumulative response time as users request more batches.
+
+    Four series: HS-IDJ, AM-IDJ with Equation (3) estimates, AM-IDJ with
+    the *real* per-batch Dmax values as its stage schedule, and SJ-SORT
+    restarted from scratch at every milestone (cumulative cost).
+    """
+    if total is None:
+        total = scaled_ks()[-1]
+    batch = max(total // batches, 1)
+    milestones = [batch * i for i in range(1, batches + 1)]
+
+    # Real per-batch Dmax values from one oracle run.
+    oracle = setup.runner().kdj(total, "bkdj")
+    dists = oracle.distances
+    real_dmaxes = [dists[min(m, len(dists)) - 1] for m in milestones]
+
+    rows = []
+
+    def stream_series(name: str, algorithm: str, **cfg) -> None:
+        runner = setup.runner(**cfg)
+        stream = runner.idj(algorithm)
+        for i, milestone in enumerate(milestones):
+            got = stream.next_batch(batch)
+            s = stream.stats()
+            rows.append(
+                {
+                    "pairs": milestone,
+                    "series": name,
+                    "cumulative_response_s": s.response_time,
+                    "results": (i * batch) + len(got),
+                    "stages": s.compensation_stages,
+                }
+            )
+
+    stream_series("hs-idj", "hs")
+    stream_series("am-idj (estimated)", "amidj", initial_k=batch)
+    # Positive cutoffs only: a 0.0 stage cutoff would prune everything.
+    schedule = tuple(max(d, 1e-9) for d in real_dmaxes)
+    stream_series(
+        "am-idj (real dmax)", "amidj", initial_k=batch, edmax_schedule=schedule
+    )
+
+    cumulative = 0.0
+    for milestone in milestones:
+        result = setup.runner().kdj(
+            milestone, "sjsort", dmax=setup.true_dmax(milestone)
+        )
+        cumulative += result.stats.response_time
+        rows.append(
+            {
+                "pairs": milestone,
+                "series": "sj-sort (restarted)",
+                "cumulative_response_s": cumulative,
+                "results": len(result),
+                "stages": 0,
+            }
+        )
+    return rows

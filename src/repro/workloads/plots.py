@@ -1,0 +1,104 @@
+"""ASCII charts for experiment results.
+
+The benchmarks run in terminals; these render the paper's figures as
+plain-text charts next to the tables — one marker letter per series,
+optional log scales (the paper's figures are log-log in k).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def ascii_chart(
+    rows: Iterable[dict[str, Any]],
+    x: str,
+    y: str,
+    series: str,
+    title: str | None = None,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render rows as a multi-series character plot.
+
+    ``x``/``y`` name numeric columns; ``series`` names the grouping
+    column.  Log scales drop non-positive values (annotated in the
+    legend when it happens).
+    """
+    rows = list(rows)
+    points: dict[str, list[tuple[float, float]]] = {}
+    dropped = 0
+    for row in rows:
+        try:
+            xv, yv = float(row[x]), float(row[y])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if not (math.isfinite(xv) and math.isfinite(yv)):
+            dropped += 1
+            continue
+        if (log_x and xv <= 0) or (log_y and yv <= 0):
+            dropped += 1
+            continue
+        points.setdefault(str(row[series]), []).append((xv, yv))
+    if not points:
+        return f"{title or 'chart'}: no plottable points"
+
+    def tx(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    xs = [tx(px) for pts in points.values() for px, _ in pts]
+    ys = [ty(py) for pts in points.values() for _, py in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (name, pts) in enumerate(sorted(points.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} = {name}")
+        for px, py in pts:
+            col = round((tx(px) - x_lo) / x_span * (width - 1))
+            row_i = height - 1 - round((ty(py) - y_lo) / y_span * (height - 1))
+            grid[row_i][col] = marker
+
+    def fmt(value: float, logscale: bool) -> str:
+        raw = 10**value if logscale else value
+        if raw >= 1000:
+            return f"{raw:,.0f}"
+        return f"{raw:.3g}"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = fmt(y_hi, log_y)
+    bottom_label = fmt(y_lo, log_y)
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row_chars)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = fmt(x_lo, log_x)
+    x_right = fmt(x_hi, log_x)
+    pad = max(width - len(x_left) - len(x_right), 1)
+    lines.append(" " * (label_width + 2) + x_left + " " * pad + x_right)
+    axes = f"x: {x}{' (log)' if log_x else ''}   y: {y}{' (log)' if log_y else ''}"
+    lines.append(" " * (label_width + 2) + axes)
+    lines.extend(legend)
+    if dropped:
+        lines.append(f"  ({dropped} non-finite/non-positive point(s) dropped)")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment results.
+
+Rows are dictionaries; columns print in first-seen order unless given.
+Numbers are humanized the way systems papers print them (thousands
+separators, 3 significant digits for floats).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.rjust(w) for cell, w in zip(line, widths)) for line in cells
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(p for p in parts if p)
+
+
+def print_table(
+    rows: Iterable[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` output (benchmark harness hook)."""
+    print()
+    print(format_table(rows, columns, title))

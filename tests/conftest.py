@@ -1,0 +1,76 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.geometry.distances import min_distance
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+
+
+def brute_force_distances(
+    items_r: list[tuple[Rect, int]], items_s: list[tuple[Rect, int]], k: int
+) -> list[float]:
+    """The k smallest pair distances, by exhaustive enumeration."""
+    distances = sorted(
+        min_distance(a, b)
+        for (a, _), (b, _) in itertools.product(items_r, items_s)
+    )
+    return distances[:k]
+
+
+def brute_force_within(
+    items_r: list[tuple[Rect, int]],
+    items_s: list[tuple[Rect, int]],
+    dmax: float,
+) -> set[tuple[int, int]]:
+    """All pairs of object ids within ``dmax``."""
+    return {
+        (i, j)
+        for (a, i), (b, j) in itertools.product(items_r, items_s)
+        if min_distance(a, b) <= dmax
+    }
+
+
+def random_rects(
+    n: int, seed: int, span: float = 1000.0, max_side: float = 30.0
+) -> list[tuple[Rect, int]]:
+    """Reproducible random rectangles for oracle comparisons."""
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        x = rng.uniform(0, span)
+        y = rng.uniform(0, span)
+        w = rng.uniform(0, max_side)
+        h = rng.uniform(0, max_side)
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+def assert_distances_close(got: list[float], expected: list[float]) -> None:
+    assert len(got) == len(expected), f"{len(got)} results, expected {len(expected)}"
+    for i, (a, b) in enumerate(zip(got, expected)):
+        assert math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-9), (i, a, b)
+
+
+@pytest.fixture(scope="session")
+def small_r() -> list[tuple[Rect, int]]:
+    return random_rects(120, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_s() -> list[tuple[Rect, int]]:
+    return random_rects(90, seed=22)
+
+
+@pytest.fixture(scope="session")
+def small_trees(small_r, small_s) -> tuple[RTree, RTree]:
+    return (
+        RTree.bulk_load(small_r, max_entries=8),
+        RTree.bulk_load(small_s, max_entries=8),
+    )

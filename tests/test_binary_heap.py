@@ -1,0 +1,128 @@
+"""Tests for the from-scratch binary heaps."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queues.binary_heap import MaxHeap, MinHeap
+
+
+class TestMinHeap:
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            MinHeap().pop()
+
+    def test_empty_peek_raises(self):
+        with pytest.raises(IndexError):
+            MinHeap().peek()
+
+    def test_push_pop_sorted(self):
+        h = MinHeap()
+        for v in [5, 1, 4, 1, 3]:
+            h.push(v, f"p{v}")
+        keys = [h.pop()[0] for _ in range(5)]
+        assert keys == [1, 1, 3, 4, 5]
+
+    def test_payloads_travel_with_keys(self):
+        h = MinHeap()
+        h.push(2, "two")
+        h.push(1, "one")
+        assert h.pop() == (1, "one")
+        assert h.peek() == (2, "two")
+
+    def test_heapify_constructor(self):
+        h = MinHeap([(3, None), (1, None), (2, None)])
+        assert h.is_valid()
+        assert h.pop()[0] == 1
+
+    def test_pushpop_smaller_than_min(self):
+        h = MinHeap([(5, None)])
+        assert h.pushpop(1, "x") == (1, "x")
+        assert len(h) == 1
+
+    def test_pushpop_larger_than_min(self):
+        h = MinHeap([(2, "two")])
+        assert h.pushpop(9, None) == (2, "two")
+        assert h.peek()[0] == 9
+
+    def test_pushpop_empty(self):
+        h = MinHeap()
+        assert h.pushpop(7, "x") == (7, "x")
+        assert len(h) == 0
+
+    def test_drain_returns_everything(self):
+        h = MinHeap([(i, None) for i in range(10)])
+        items = h.drain()
+        assert len(items) == 10 and len(h) == 0
+
+    def test_clear(self):
+        h = MinHeap([(1, None)])
+        h.clear()
+        assert not h
+
+    def test_equal_keys_never_compare_payloads(self):
+        class Opaque:  # no ordering defined
+            pass
+
+        h = MinHeap()
+        for _ in range(5):
+            h.push(1.0, Opaque())
+        assert len([h.pop() for _ in range(5)]) == 5
+
+
+class TestMaxHeap:
+    def test_pop_descending(self):
+        h = MaxHeap()
+        for v in [5, 1, 4, 1, 3]:
+            h.push(v)
+        assert [h.pop()[0] for _ in range(5)] == [5, 4, 3, 1, 1]
+
+    def test_pushpop_evicts_max(self):
+        h = MaxHeap([(5, None), (2, None)])
+        assert h.pushpop(3, None)[0] == 5
+        assert sorted(k for k, _ in h) == [2, 3]
+
+    def test_pushpop_larger_than_max_returns_itself(self):
+        h = MaxHeap([(5, None)])
+        assert h.pushpop(9, "big") == (9, "big")
+        assert h.peek()[0] == 5
+
+    def test_empty_errors(self):
+        with pytest.raises(IndexError):
+            MaxHeap().pop()
+        with pytest.raises(IndexError):
+            MaxHeap().peek()
+
+    def test_heapify_valid(self):
+        h = MaxHeap([(v, None) for v in range(20)])
+        assert h.is_valid()
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32)))
+def test_minheap_total_order_matches_sorted(values):
+    h = MinHeap()
+    for v in values:
+        h.push(v)
+    assert [h.pop()[0] for _ in range(len(values))] == sorted(values)
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100)))
+def test_maxheap_total_order_matches_sorted_desc(values):
+    h = MaxHeap([(v, None) for v in values])
+    assert [h.pop()[0] for _ in range(len(values))] == sorted(values, reverse=True)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(-50, 50)), max_size=300))
+def test_minheap_interleaved_matches_heapq(ops):
+    h = MinHeap()
+    model: list[int] = []
+    for is_push, value in ops:
+        if is_push or not model:
+            h.push(value)
+            heapq.heappush(model, value)
+        else:
+            assert h.pop()[0] == heapq.heappop(model)
+        assert h.is_valid()
+    assert len(h) == len(model)

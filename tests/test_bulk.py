@@ -1,0 +1,93 @@
+"""Tests for STR bulk loading."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.bulk import even_chunk_sizes
+from repro.rtree.tree import RTree
+
+from tests.conftest import random_rects
+
+
+class TestEvenChunkSizes:
+    def test_empty(self):
+        assert even_chunk_sizes(0, 2, 8, 6) == []
+
+    def test_single_chunk(self):
+        assert even_chunk_sizes(5, 2, 8, 6) == [5]
+
+    def test_splits_near_target(self):
+        sizes = even_chunk_sizes(100, 4, 10, 7)
+        assert sum(sizes) == 100
+        assert all(4 <= s <= 10 for s in sizes)
+
+    def test_spread_is_even(self):
+        sizes = even_chunk_sizes(23, 2, 10, 7)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_below_min_returns_one_chunk(self):
+        # A lone underfull chunk is the only possibility (root case).
+        assert even_chunk_sizes(3, 4, 10, 7) == [3]
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.integers(min_value=2, max_value=40),
+    )
+    def test_chunks_always_partition(self, total, lo):
+        hi = lo * 2 + 5  # keeps min-fill feasible, like real R-tree params
+        target = (lo + hi) // 2
+        sizes = even_chunk_sizes(total, lo, hi, target)
+        assert sum(sizes) == total
+        assert all(s <= hi for s in sizes)
+        if total >= lo:
+            assert all(s >= lo for s in sizes)
+
+
+class TestBulkLoad:
+    def test_empty_tree(self):
+        tree = RTree.bulk_load([])
+        assert tree.size == 0
+        assert tree.search(Rect(0, 0, 1, 1)) == []
+        tree.validate()
+
+    def test_single_item(self):
+        tree = RTree.bulk_load([(Rect(0, 0, 1, 1), 7)])
+        tree.validate()
+        assert tree.search(Rect(0, 0, 2, 2)) == [7]
+
+    def test_rejects_bad_fill_factor(self):
+        items = random_rects(10, seed=0)
+        with pytest.raises(ValueError):
+            RTree.bulk_load(items, fill_factor=0.0)
+        with pytest.raises(ValueError):
+            RTree.bulk_load(items, fill_factor=1.5)
+
+    @pytest.mark.parametrize("count", [1, 2, 7, 16, 17, 100, 1000, 4567])
+    def test_various_sizes_validate(self, count):
+        tree = RTree.bulk_load(random_rects(count, seed=count), max_entries=16)
+        tree.validate()
+        assert tree.size == count
+
+    @pytest.mark.parametrize("fill", [0.4, 0.7, 1.0])
+    def test_fill_factors_validate(self, fill):
+        tree = RTree.bulk_load(random_rects(500, seed=1), max_entries=16, fill_factor=fill)
+        tree.validate()
+
+    def test_search_matches_brute_force(self):
+        items = random_rects(800, seed=2)
+        tree = RTree.bulk_load(items, max_entries=16)
+        for window in (Rect(0, 0, 100, 100), Rect(500, 500, 900, 900)):
+            expected = sorted(oid for rect, oid in items if rect.intersects(window))
+            assert sorted(tree.search(window)) == expected
+
+    def test_higher_fill_means_fewer_nodes(self):
+        items = random_rects(2000, seed=3)
+        low = RTree.bulk_load(items, max_entries=16, fill_factor=0.5)
+        high = RTree.bulk_load(items, max_entries=16, fill_factor=1.0)
+        assert high.node_count() < low.node_count()
+
+    def test_leaf_entry_iteration_complete(self):
+        items = random_rects(300, seed=4)
+        tree = RTree.bulk_load(items, max_entries=8)
+        assert sorted(e.ref for e in tree.iter_leaf_entries()) == list(range(300))

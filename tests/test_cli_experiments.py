@@ -1,0 +1,57 @@
+"""CLI experiment subcommand and the REPRO_SCALE environment knob."""
+
+import os
+
+import pytest
+
+from repro.workloads import experiments
+
+
+@pytest.fixture()
+def tiny_scale(monkeypatch):
+    """Run the experiment stack at 1/200 scale so tests stay fast."""
+    monkeypatch.setenv("REPRO_SCALE", "0.005")
+    # the setup cache is keyed by cardinalities, so entries from other
+    # scales do not collide; nothing to clear
+    yield
+    experiments._SETUP_CACHE.clear()
+
+
+def test_scale_factor_reads_env(tiny_scale):
+    assert experiments.scale_factor() == 0.005
+
+
+def test_scaled_ks_shrink_with_scale(tiny_scale):
+    ks = experiments.scaled_ks()
+    assert ks[-1] == int(30_000 * 0.005)
+    assert ks[0] >= 1
+
+
+def test_make_setup_respects_scale(tiny_scale):
+    setup = experiments.make_setup()
+    assert setup.tree_r.size == int(60_000 * 0.005)
+    assert setup.tree_s.size == int(20_000 * 0.005)
+
+
+def test_cli_experiment_command(tiny_scale, capsys):
+    from repro.__main__ import main
+
+    assert main(["experiment", "fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment fig11" in out
+    assert "total_comps_optimized" in out
+
+
+def test_cli_experiment_table2(tiny_scale, capsys):
+    from repro.__main__ import main
+
+    assert main(["experiment", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "amkdj" in out
+
+
+def test_cli_rejects_unknown_experiment(tiny_scale):
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])

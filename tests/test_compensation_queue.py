@@ -1,0 +1,44 @@
+"""Tests for the compensation queue."""
+
+from repro.queues.compensation import CompensationQueue
+
+
+def test_fifo_order():
+    q: CompensationQueue[int] = CompensationQueue()
+    for i in range(5):
+        q.enqueue(i)
+    assert list(q.drain()) == [0, 1, 2, 3, 4]
+
+
+def test_drain_empties():
+    q: CompensationQueue[str] = CompensationQueue()
+    q.enqueue("a")
+    list(q.drain())
+    assert len(q) == 0 and not q
+
+
+def test_drain_is_lazy_and_consumes():
+    q: CompensationQueue[int] = CompensationQueue()
+    q.enqueue(1)
+    q.enqueue(2)
+    it = q.drain()
+    assert next(it) == 1
+    assert len(q) == 1  # only the yielded record removed so far
+
+
+def test_peak_and_total_counters():
+    q: CompensationQueue[int] = CompensationQueue()
+    for i in range(3):
+        q.enqueue(i)
+    list(q.drain())
+    q.enqueue(99)
+    assert q.total_enqueued == 4
+    assert q.peak_size == 3
+
+
+def test_reusable_across_stages():
+    q: CompensationQueue[int] = CompensationQueue()
+    q.enqueue(1)
+    assert list(q.drain()) == [1]
+    q.enqueue(2)
+    assert list(q.drain()) == [2]

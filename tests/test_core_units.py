@@ -1,0 +1,141 @@
+"""Unit tests for small core building blocks: items, payloads, nodes,
+instrumentation."""
+
+import math
+
+import pytest
+
+from repro.core.pairs import Item, PairPayload, ResultPair
+from repro.core.stats import Instruments, JoinStats
+from repro.geometry.rect import Rect
+from repro.rtree.entries import Entry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree, TreeAccessor
+from repro.storage.disk import SimulatedDisk
+
+
+class TestItem:
+    def test_object_item(self):
+        item = Item.object(Rect(0, 0, 1, 1), 42)
+        assert item.is_object
+        assert item.ref == 42
+
+    def test_node_item(self):
+        item = Item.node(Rect(0, 0, 1, 1), 7, level=2)
+        assert not item.is_object
+        assert item.level == 2
+
+    def test_negative_node_level_rejected(self):
+        with pytest.raises(ValueError):
+            Item.node(Rect(0, 0, 1, 1), 7, level=-1)
+
+    def test_payload_object_pair_detection(self):
+        obj = Item.object(Rect(0, 0, 1, 1), 1)
+        node = Item.node(Rect(0, 0, 1, 1), 2, 0)
+        assert PairPayload(obj, obj).is_object_pair
+        assert not PairPayload(obj, node).is_object_pair
+        assert not PairPayload(node, node).is_object_pair
+
+    def test_result_pair_is_named_tuple(self):
+        pair = ResultPair(1.5, 3, 4)
+        distance, r, s = pair
+        assert (distance, r, s) == (1.5, 3, 4)
+        assert pair.distance == 1.5 and pair.ref_r == 3 and pair.ref_s == 4
+
+
+class TestNode:
+    def _node(self) -> Node:
+        return Node(
+            page_id=9,
+            level=1,
+            entries=[Entry(Rect(0, 0, 1, 1), 10), Entry(Rect(2, 2, 3, 3), 11)],
+        )
+
+    def test_mbr(self):
+        assert self._node().mbr() == Rect(0, 0, 3, 3)
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Node(page_id=1, level=0).mbr()
+
+    def test_entry_for(self):
+        node = self._node()
+        assert node.entry_for(11).rect == Rect(2, 2, 3, 3)
+        with pytest.raises(KeyError):
+            node.entry_for(99)
+
+    def test_remove_ref(self):
+        node = self._node()
+        removed = node.remove_ref(10)
+        assert removed.ref == 10 and len(node) == 1
+        with pytest.raises(KeyError):
+            node.remove_ref(10)
+
+    def test_replace_entry(self):
+        node = self._node()
+        node.replace_entry(10, Entry(Rect(5, 5, 6, 6), 10))
+        assert node.entry_for(10).rect == Rect(5, 5, 6, 6)
+        with pytest.raises(KeyError):
+            node.replace_entry(99, Entry(Rect(0, 0, 1, 1), 99))
+
+    def test_is_leaf(self):
+        assert Node(page_id=1, level=0).is_leaf
+        assert not Node(page_id=1, level=1).is_leaf
+
+
+class TestEntrySerialization:
+    def test_record_roundtrip(self):
+        entry = Entry(Rect(1.5, -2.0, 3.25, 0.0), 77)
+        assert Entry.from_record(entry.as_record()) == entry
+
+
+class TestInstruments:
+    def _instruments(self):
+        disk = SimulatedDisk()
+        tree = RTree.bulk_load([(Rect(0, 0, 1, 1), 0)])
+        acc = TreeAccessor(tree, disk, 4096)
+        return Instruments(disk, acc, acc), disk
+
+    def test_real_distance_counts_and_charges(self):
+        instr, disk = self._instruments()
+        d = instr.real_distance(Rect(0, 0, 1, 1), Rect(4, 0, 5, 1))
+        assert d == 3.0
+        assert instr.real_distance_computations == 1
+        assert disk.cpu_time > 0
+
+    def test_axis_distance_counts(self):
+        instr, _ = self._instruments()
+        assert instr.axis_dist(Rect(0, 0, 1, 1), Rect(4, 0, 5, 1), 0) == 3.0
+        instr.count_axis(5)
+        assert instr.axis_distance_computations == 6
+
+    def test_charge_sort_noop_for_tiny(self):
+        instr, disk = self._instruments()
+        before = disk.cpu_time
+        instr.charge_sort(1)
+        assert disk.cpu_time == before
+        instr.charge_sort(100)
+        assert disk.cpu_time > before
+
+    def test_fill_snapshot(self):
+        instr, disk = self._instruments()
+        instr.real_distance(Rect(0, 0, 1, 1), Rect(2, 0, 3, 1))
+        instr.accessor_r.get(instr.accessor_r.tree.root_id)
+        stats = JoinStats()
+        instr.fill(stats)
+        assert stats.real_distance_computations == 1
+        # the same accessor serves both sides here, so it is counted twice
+        assert stats.node_accesses == 2
+        assert stats.node_accesses_unbuffered == 2
+        assert math.isclose(stats.response_time, disk.clock)
+
+
+class TestJoinStatsHelpers:
+    def test_as_row_keys(self):
+        row = JoinStats(algorithm="x", k=3).as_row()
+        assert set(row) >= {"algorithm", "k", "dist_comps", "response_time"}
+
+    def test_extra_dict_isolated(self):
+        a, b = JoinStats(), JoinStats()
+        a.extra["x"] = 1.0
+        assert "x" not in b.extra

@@ -1,0 +1,110 @@
+"""Tests for the synthetic data generators."""
+
+import pytest
+
+from repro.datagen.generators import (
+    DEFAULT_SPACE,
+    clustered_points,
+    clustered_rects,
+    uniform_points,
+    uniform_rects,
+)
+from repro.datagen.tiger import synthetic_tiger
+from repro.geometry.rect import Rect
+
+
+class TestBasicGenerators:
+    @pytest.mark.parametrize(
+        "generator", [uniform_points, uniform_rects, clustered_points, clustered_rects]
+    )
+    def test_cardinality_and_ids(self, generator):
+        items = generator(137, seed=1)
+        assert len(items) == 137
+        assert [oid for _, oid in items] == list(range(137))
+
+    @pytest.mark.parametrize(
+        "generator", [uniform_points, uniform_rects, clustered_points, clustered_rects]
+    )
+    def test_deterministic_by_seed(self, generator):
+        assert generator(50, seed=9) == generator(50, seed=9)
+        assert generator(50, seed=9) != generator(50, seed=10)
+
+    @pytest.mark.parametrize(
+        "generator", [uniform_points, uniform_rects, clustered_points, clustered_rects]
+    )
+    def test_within_space(self, generator):
+        for rect, _ in generator(200, seed=2):
+            assert DEFAULT_SPACE.contains(rect)
+
+    def test_points_are_degenerate(self):
+        assert all(rect.is_point for rect, _ in uniform_points(30, seed=3))
+
+    def test_rect_sides_bounded(self):
+        for rect, _ in uniform_rects(100, max_side=5.0, seed=4):
+            assert rect.width <= 5.0 and rect.height <= 5.0
+
+    def test_clustering_is_denser_than_uniform(self):
+        clustered = clustered_points(2000, clusters=3, spread=100.0, seed=5)
+        uniform = uniform_points(2000, seed=5)
+
+        def mean_nn_sample(items):
+            from repro.geometry.distances import min_distance
+
+            sample = items[:50]
+            total = 0.0
+            for rect, _ in sample:
+                total += min(
+                    min_distance(rect, other)
+                    for other, oid in items[:500]
+                    if other is not rect
+                )
+            return total / len(sample)
+
+        assert mean_nn_sample(clustered) < mean_nn_sample(uniform)
+
+
+class TestTiger:
+    def test_cardinalities(self):
+        data = synthetic_tiger(n_streets=3000, n_hydro=1000, seed=7)
+        assert len(data.streets) == 3000
+        assert len(data.hydro) == 1000
+
+    def test_ids_dense(self):
+        data = synthetic_tiger(n_streets=500, n_hydro=300, seed=8)
+        assert [oid for _, oid in data.streets] == list(range(500))
+        assert [oid for _, oid in data.hydro] == list(range(300))
+
+    def test_deterministic(self):
+        a = synthetic_tiger(n_streets=400, n_hydro=200, seed=9)
+        b = synthetic_tiger(n_streets=400, n_hydro=200, seed=9)
+        assert a.streets == b.streets and a.hydro == b.hydro
+
+    def test_within_space(self):
+        data = synthetic_tiger(n_streets=1000, n_hydro=500, seed=10)
+        for rect, _ in data.streets + data.hydro:
+            assert data.space.contains(rect)
+
+    def test_segments_are_small(self):
+        data = synthetic_tiger(n_streets=2000, n_hydro=800, seed=11)
+        span = data.space.width
+        for rect, _ in data.streets:
+            assert rect.width <= 0.02 * span and rect.height <= 0.02 * span
+
+    def test_streets_are_skewed(self):
+        """Town clustering: the densest 10x10-grid cell holds far more
+        than the ~1% a uniform distribution would give it."""
+        data = synthetic_tiger(n_streets=4000, n_hydro=500, seed=12)
+        space = data.space
+        counts: dict[tuple[int, int], int] = {}
+        for rect, _ in data.streets:
+            cx, cy = rect.center()
+            cell = (
+                min(int(10 * (cx - space.xmin) / space.width), 9),
+                min(int(10 * (cy - space.ymin) / space.height), 9),
+            )
+            counts[cell] = counts.get(cell, 0) + 1
+        assert max(counts.values()) / 4000 > 0.05
+
+    def test_invalid_cardinalities(self):
+        with pytest.raises(ValueError):
+            synthetic_tiger(n_streets=0, n_hydro=10)

@@ -1,0 +1,124 @@
+"""Tests for R-tree deletion (CondenseTree + orphan reinsertion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+
+from tests.conftest import random_rects
+
+
+def test_delete_missing_returns_false():
+    tree = RTree.bulk_load(random_rects(50, seed=1), max_entries=8)
+    assert tree.delete(Rect(0, 0, 1, 1), 9999) is False
+    assert tree.size == 50
+
+
+def test_delete_requires_exact_rect():
+    items = random_rects(30, seed=2)
+    tree = RTree.bulk_load(items, max_entries=8)
+    rect, oid = items[0]
+    assert tree.delete(rect.expanded(1.0), oid) is False
+    assert tree.delete(rect, oid) is True
+    assert tree.size == 29
+
+
+def test_deleted_entries_disappear_from_search():
+    items = random_rects(200, seed=3)
+    tree = RTree.bulk_load(items, max_entries=8)
+    victims = items[:50]
+    for rect, oid in victims:
+        assert tree.delete(rect, oid)
+    window = Rect(0, 0, 1000, 1000)
+    assert sorted(tree.search(window)) == sorted(oid for _, oid in items[50:])
+
+
+def test_tree_stays_valid_through_random_deletions():
+    items = random_rects(300, seed=4)
+    tree = RTree(max_entries=6)
+    tree.insert_all(items)
+    order = items[:]
+    random.Random(5).shuffle(order)
+    for i, (rect, oid) in enumerate(order[:250]):
+        assert tree.delete(rect, oid)
+        if i % 25 == 0:
+            tree.validate()
+    tree.validate()
+    assert tree.size == 50
+
+
+def test_delete_everything_leaves_empty_tree():
+    items = random_rects(80, seed=6)
+    tree = RTree(max_entries=5)
+    tree.insert_all(items)
+    for rect, oid in items:
+        assert tree.delete(rect, oid)
+    tree.validate()
+    assert tree.size == 0
+    assert tree.height == 1
+    assert tree.search(Rect(0, 0, 2000, 2000)) == []
+
+
+def test_tree_shrinks_in_height():
+    items = random_rects(400, seed=7)
+    tree = RTree(max_entries=5)
+    tree.insert_all(items)
+    tall = tree.height
+    for rect, oid in items[:390]:
+        tree.delete(rect, oid)
+    tree.validate()
+    assert tree.height < tall
+
+
+def test_interleaved_insert_delete():
+    tree = RTree(max_entries=6)
+    rng = random.Random(8)
+    alive: dict[int, Rect] = {}
+    next_oid = 0
+    for step in range(800):
+        if rng.random() < 0.6 or not alive:
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            rect = Rect(x, y, x + rng.uniform(0, 3), y + rng.uniform(0, 3))
+            tree.insert(rect, next_oid)
+            alive[next_oid] = rect
+            next_oid += 1
+        else:
+            oid = rng.choice(list(alive))
+            assert tree.delete(alive.pop(oid), oid)
+        if step % 100 == 0:
+            tree.validate()
+            assert tree.size == len(alive)
+    tree.validate()
+    window = Rect(20, 20, 60, 60)
+    expected = sorted(o for o, r in alive.items() if r.intersects(window))
+    assert sorted(tree.search(window)) == expected
+
+
+def test_duplicate_rect_distinct_oids():
+    rect = Rect(1, 1, 2, 2)
+    tree = RTree(max_entries=4)
+    for oid in range(30):
+        tree.insert(rect, oid)
+    assert tree.delete(rect, 17)
+    assert not tree.delete(rect, 17)
+    assert sorted(tree.search(rect)) == [o for o in range(30) if o != 17]
+    tree.validate()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000), st.integers(10, 80), st.integers(1, 79))
+def test_random_deletion_preserves_invariants(seed, count, delete_count):
+    delete_count = min(delete_count, count)
+    items = random_rects(count, seed=seed, span=100, max_side=10)
+    tree = RTree(max_entries=4)
+    tree.insert_all(items)
+    order = items[:]
+    random.Random(seed).shuffle(order)
+    for rect, oid in order[:delete_count]:
+        assert tree.delete(rect, oid)
+    tree.validate()
+    survivors = {oid for _, oid in order[delete_count:]}
+    assert {e.ref for e in tree.iter_leaf_entries()} == survivors

@@ -1,0 +1,70 @@
+"""Tests for the k-bounded distance queue (qDmax)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.queues.distance_queue import DistanceQueue
+
+
+def test_k_must_be_positive():
+    with pytest.raises(ValueError):
+        DistanceQueue(0)
+    with pytest.raises(ValueError):
+        DistanceQueue(-3)
+
+
+def test_cutoff_infinite_until_k_seen():
+    q = DistanceQueue(3)
+    q.insert(1.0)
+    q.insert(2.0)
+    assert q.cutoff == math.inf
+    q.insert(3.0)
+    assert q.cutoff == 3.0
+
+
+def test_cutoff_is_kth_smallest_seen():
+    q = DistanceQueue(2)
+    for d in [9.0, 7.0, 5.0, 8.0, 1.0]:
+        q.insert(d)
+    # two smallest seen: 1.0 and 5.0
+    assert q.cutoff == 5.0
+    assert sorted(q.distances()) == [1.0, 5.0]
+
+
+def test_cutoff_never_increases():
+    q = DistanceQueue(3)
+    cutoffs = []
+    for d in [5.0, 4.0, 6.0, 1.0, 9.0, 0.5]:
+        q.insert(d)
+        cutoffs.append(q.cutoff)
+    finite = [c for c in cutoffs if math.isfinite(c)]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_size_bounded_by_k():
+    q = DistanceQueue(4)
+    for d in range(100):
+        q.insert(float(d))
+    assert len(q) == 4
+    assert q.insertions == 100
+
+
+def test_duplicates_counted_individually():
+    q = DistanceQueue(3)
+    for _ in range(5):
+        q.insert(2.0)
+    assert q.cutoff == 2.0
+    assert len(q) == 3
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1),
+       st.integers(min_value=1, max_value=20))
+def test_cutoff_matches_sorted_reference(values, k):
+    q = DistanceQueue(k)
+    for v in values:
+        q.insert(v)
+    expected = sorted(values)[k - 1] if len(values) >= k else math.inf
+    assert q.cutoff == expected
+    assert sorted(q.distances()) == sorted(values)[: min(k, len(values))]

@@ -1,0 +1,76 @@
+"""Tests for the free distance functions (the instrumented entry points)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.distances import (
+    axis_distance,
+    max_distance,
+    min_distance,
+    point_distance,
+)
+from repro.geometry.rect import Rect
+
+from tests.test_rect import rects
+
+
+def test_min_distance_matches_method():
+    a, b = Rect(0, 0, 1, 1), Rect(4, 5, 6, 6)
+    assert min_distance(a, b) == a.min_dist(b)
+
+
+def test_max_distance_matches_method():
+    a, b = Rect(0, 0, 1, 1), Rect(4, 5, 6, 6)
+    assert max_distance(a, b) == a.max_dist(b)
+
+
+def test_axis_distance_matches_method():
+    a, b = Rect(0, 0, 1, 1), Rect(4, 5, 6, 6)
+    assert axis_distance(a, b, 0) == a.axis_dist(b, 0)
+    assert axis_distance(a, b, 1) == a.axis_dist(b, 1)
+
+
+def test_point_distance():
+    assert point_distance(0, 0, 3, 4) == 5.0
+    assert point_distance(1, 1, 1, 1) == 0.0
+
+
+def test_point_rect_distance_is_point_distance():
+    p, q = Rect.from_point(0, 0), Rect.from_point(3, 4)
+    assert min_distance(p, q) == 5.0
+    assert max_distance(p, q) == 5.0
+
+
+@given(rects(), rects())
+def test_min_distance_is_infimum_of_point_distances(a: Rect, b: Rect):
+    """Sampled corner/edge points can never beat the computed minimum."""
+    d = min_distance(a, b)
+    for ax in (a.xmin, a.xmax, (a.xmin + a.xmax) / 2):
+        for ay in (a.ymin, a.ymax):
+            for bx in (b.xmin, b.xmax):
+                for by in (b.ymin, b.ymax, (b.ymin + b.ymax) / 2):
+                    assert point_distance(ax, ay, bx, by) >= d - 1e-9
+
+
+@given(rects(), rects())
+def test_max_distance_dominates_sampled_points(a: Rect, b: Rect):
+    d = max_distance(a, b)
+    for ax in (a.xmin, a.xmax):
+        for ay in (a.ymin, a.ymax):
+            for bx in (b.xmin, b.xmax):
+                for by in (b.ymin, b.ymax):
+                    assert point_distance(ax, ay, bx, by) <= d + 1e-9
+
+
+@given(rects(), rects())
+def test_axis_distance_lower_bounds_min(a: Rect, b: Rect):
+    assert axis_distance(a, b, 0) <= min_distance(a, b) + 1e-12
+    assert axis_distance(a, b, 1) <= min_distance(a, b) + 1e-12
+
+
+@given(rects(), rects())
+def test_min_distance_euclidean_composition(a: Rect, b: Rect):
+    dx = axis_distance(a, b, 0)
+    dy = axis_distance(a, b, 1)
+    assert math.isclose(min_distance(a, b), math.hypot(dx, dy), abs_tol=1e-9)

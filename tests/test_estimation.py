@@ -1,0 +1,109 @@
+"""Tests for eDmax estimation (Equations 3-5)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.estimation import (
+    arithmetic_correction,
+    corrected_edmax,
+    density_rho,
+    geometric_correction,
+    initial_edmax,
+    rho_for_datasets,
+)
+from repro.geometry.rect import Rect
+
+
+class TestRho:
+    def test_formula(self):
+        assert math.isclose(density_rho(math.pi, 10, 10), 1.0 / 100.0)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            density_rho(1.0, 0, 10)
+        with pytest.raises(ValueError):
+            density_rho(1.0, 10, -1)
+
+    def test_negative_area(self):
+        with pytest.raises(ValueError):
+            density_rho(-1.0, 1, 1)
+
+    def test_rho_for_datasets_uses_overlap(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 0, 15, 10)
+        expected = density_rho(50.0, 100, 100)
+        assert math.isclose(rho_for_datasets(a, b, 100, 100), expected)
+
+    def test_rho_for_disjoint_datasets_floored(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(100, 100, 110, 110)
+        assert rho_for_datasets(a, b, 10, 10) > 0.0
+
+
+class TestInitialEstimate:
+    def test_uniform_model_inversion(self):
+        # k = |R||S| pi d^2 / area  =>  d = sqrt(k rho)
+        rho = density_rho(1000.0, 50, 40)
+        d = initial_edmax(10, rho)
+        k = 50 * 40 * math.pi * d * d / 1000.0
+        assert math.isclose(k, 10.0)
+
+    def test_monotone_in_k(self):
+        rho = 0.37
+        values = [initial_edmax(k, rho) for k in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert all(v > 0 for v in values)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            initial_edmax(0, 1.0)
+
+
+class TestCorrections:
+    def test_arithmetic_reduces_to_initial_at_zero(self):
+        rho = 0.5
+        assert math.isclose(
+            arithmetic_correction(0.0, 1, 100, rho),
+            math.sqrt(99 * rho),
+        )
+
+    def test_geometric_scaling(self):
+        assert math.isclose(geometric_correction(2.0, 25, 100), 4.0)
+
+    def test_corrections_equal_at_k0_equals_k(self):
+        assert arithmetic_correction(3.0, 10, 10, 0.7) == 3.0
+        assert geometric_correction(3.0, 10, 10) == 3.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            arithmetic_correction(1.0, 0, 10, 1.0)
+        with pytest.raises(ValueError):
+            geometric_correction(1.0, 20, 10)
+
+    def test_aggressive_takes_min(self):
+        rho = 0.01
+        arith = arithmetic_correction(5.0, 10, 1000, rho)
+        geo = geometric_correction(5.0, 10, 1000)
+        assert corrected_edmax(5.0, 10, 1000, rho, aggressive=True) == min(arith, geo)
+        assert corrected_edmax(5.0, 10, 1000, rho, aggressive=False) == max(arith, geo)
+
+    def test_zero_observed_falls_back_to_arithmetic(self):
+        rho = 0.3
+        assert corrected_edmax(0.0, 5, 50, rho) == arithmetic_correction(0.0, 5, 50, rho)
+
+    @given(
+        # d = 0 or well-normalized: squaring a subnormal underflows to 0,
+        # which is float behavior rather than a property of the formulas.
+        st.one_of(st.just(0.0), st.floats(1e-6, 100.0)),
+        st.integers(1, 1000),
+        st.integers(0, 1000),
+        st.floats(1e-6, 10.0),
+    )
+    def test_corrections_never_shrink_below_observed(self, d, k0, extra, rho):
+        k = k0 + extra
+        assert arithmetic_correction(d, k0, k, rho) >= d
+        if d > 0:
+            assert geometric_correction(d, k0, k) >= d
+        assert corrected_edmax(d, k0, k, rho) >= d

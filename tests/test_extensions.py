@@ -1,0 +1,177 @@
+"""Tests for the extension features: k-NN queries, self-joins, the
+histogram (non-uniform) eDmax estimator, and the CLI."""
+
+import itertools
+import math
+
+import pytest
+
+from repro import JoinConfig, RTree, Rect, k_self_distance_join
+from repro.core.estimation import histogram_rho, initial_edmax, rho_for_trees
+from repro.datagen.generators import clustered_points, uniform_points
+from repro.geometry.distances import min_distance
+
+from tests.conftest import random_rects
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        items = random_rects(300, seed=51)
+        tree = RTree.bulk_load(items, max_entries=8)
+        for x, y in ((0, 0), (500, 500), (999, 1)):
+            point = Rect.from_point(x, y)
+            expected = sorted(
+                (min_distance(rect, point), oid) for rect, oid in items
+            )[:7]
+            got = tree.nearest(x, y, 7)
+            assert [oid for _, oid in got] != []
+            for (gd, _), (ed, _) in zip(got, expected):
+                assert math.isclose(gd, ed, abs_tol=1e-9)
+
+    def test_returns_sorted(self):
+        tree = RTree.bulk_load(random_rects(100, seed=52), max_entries=8)
+        distances = [d for d, _ in tree.nearest(42.0, 17.0, 20)]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_tree(self):
+        tree = RTree.bulk_load(random_rects(5, seed=53), max_entries=8)
+        assert len(tree.nearest(0, 0, 50)) == 5
+
+    def test_empty_tree(self):
+        assert RTree.bulk_load([]).nearest(0, 0, 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(random_rects(5, seed=54)).nearest(0, 0, 0)
+
+    def test_exact_hit_distance_zero(self):
+        items = [(Rect.from_point(10.0, 20.0), 0), (Rect.from_point(99.0, 99.0), 1)]
+        tree = RTree.bulk_load(items)
+        assert tree.nearest(10.0, 20.0, 1) == [(0.0, 0)]
+
+
+class TestSelfJoin:
+    def test_matches_brute_force(self):
+        items = random_rects(60, seed=55, span=300)
+        tree = RTree.bulk_load(items, max_entries=8)
+        expected = sorted(
+            (min_distance(a, b), i, j)
+            for (a, i), (b, j) in itertools.combinations(items, 2)
+        )[:25]
+        result = k_self_distance_join(tree, 25)
+        assert len(result) == 25
+        for pair, (d, _, _) in zip(result.results, expected):
+            assert math.isclose(pair.distance, d, abs_tol=1e-9)
+
+    def test_excludes_identity_and_mirror_pairs(self):
+        tree = RTree.bulk_load(random_rects(40, seed=56), max_entries=8)
+        result = k_self_distance_join(tree, 50)
+        for pair in result.results:
+            assert pair.ref_r < pair.ref_s
+
+    def test_k_beyond_all_pairs(self):
+        items = random_rects(10, seed=57)
+        tree = RTree.bulk_load(items, max_entries=8)
+        result = k_self_distance_join(tree, 1000)
+        assert len(result) == 10 * 9 // 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_self_distance_join(RTree.bulk_load(random_rects(5, seed=58)), 0)
+
+    def test_hs_engine_agrees(self):
+        tree = RTree.bulk_load(random_rects(50, seed=59), max_entries=8)
+        am = k_self_distance_join(tree, 30, "amidj")
+        hs = k_self_distance_join(tree, 30, "hs")
+        assert [round(p.distance, 9) for p in am.results] == [
+            round(p.distance, 9) for p in hs.results
+        ]
+
+
+class TestHistogramEstimation:
+    def test_uniform_data_matches_uniform_model(self):
+        points_r = uniform_points(4000, seed=60)
+        points_s = uniform_points(3000, seed=61)
+        tree_r = RTree.bulk_load(points_r)
+        tree_s = RTree.bulk_load(points_s)
+        uniform = rho_for_trees(tree_r, tree_s, "uniform")
+        hist = rho_for_trees(tree_r, tree_s, "histogram", grid=8)
+        assert 0.5 < hist / uniform < 2.0
+
+    def test_skewed_data_gets_smaller_rho(self):
+        """Clustered data: local densities are high, so the k-th pair is
+        closer than the uniform model thinks — rho must shrink."""
+        points_r = clustered_points(4000, clusters=3, spread=150.0, seed=62)
+        points_s = clustered_points(3000, clusters=3, spread=150.0, seed=62)
+        tree_r = RTree.bulk_load(points_r)
+        tree_s = RTree.bulk_load(points_s)
+        uniform = rho_for_trees(tree_r, tree_s, "uniform")
+        hist = rho_for_trees(tree_r, tree_s, "histogram")
+        assert hist < uniform / 2
+
+    def test_histogram_estimate_is_more_accurate_on_skew(self):
+        from repro.core.api import JoinRunner
+
+        points_r = clustered_points(2000, clusters=4, spread=120.0, seed=63)
+        points_s = clustered_points(1500, clusters=4, spread=150.0, seed=66)
+        tree_r = RTree.bulk_load(points_r, max_entries=16)
+        tree_s = RTree.bulk_load(points_s, max_entries=16)
+        k = 500
+        true_dmax = JoinRunner(tree_r, tree_s).true_dmax(k)
+        uniform_est = initial_edmax(k, rho_for_trees(tree_r, tree_s, "uniform"))
+        hist_est = initial_edmax(k, rho_for_trees(tree_r, tree_s, "histogram"))
+        assert abs(math.log(hist_est / true_dmax)) < abs(
+            math.log(uniform_est / true_dmax)
+        )
+
+    def test_amkdj_exact_with_histogram_rho(self):
+        from repro.core.api import JoinRunner
+        from tests.conftest import assert_distances_close, brute_force_distances
+
+        items_r = random_rects(100, seed=64)
+        items_s = random_rects(80, seed=65)
+        tree_r = RTree.bulk_load(items_r, max_entries=8)
+        tree_s = RTree.bulk_load(items_s, max_entries=8)
+        rho = rho_for_trees(tree_r, tree_s, "histogram")
+        runner = JoinRunner(tree_r, tree_s, JoinConfig(rho=rho))
+        expected = brute_force_distances(items_r, items_s, 200)
+        assert_distances_close(runner.kdj(200, "amkdj").distances, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram_rho([], [(0.0, 0.0)], Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            histogram_rho([(0.0, 0.0)], [(0.0, 0.0)], Rect(0, 0, 1, 1), grid=0)
+        with pytest.raises(ValueError):
+            rho_for_trees(None, None, "nope")
+
+    def test_disjoint_datasets_fall_back(self):
+        left = [(0.1, 0.1), (0.2, 0.2)]
+        right = [(100.0, 100.0)]
+        rho = histogram_rho(left, right, Rect(0, 0, 101, 101), grid=4)
+        assert rho > 0
+
+
+class TestCLI:
+    def test_generate_and_join(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "data"
+        assert main([
+            "generate", "--streets", "800", "--hydro", "300",
+            "--out", str(out),
+        ]) == 0
+        assert (out / "streets.rt").exists()
+        assert main([
+            "join", str(out / "streets.rt"), str(out / "hydro.rt"),
+            "-k", "5", "-a", "amkdj",
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "distance computations" in captured
+        assert "[amkdj]" in captured
+
+    def test_bad_algorithm_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["join", "a", "b", "-a", "bogus"])

@@ -1,0 +1,85 @@
+"""Tests for the memory-budgeted external merge sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queues.external_sort import ExternalSorter
+from repro.storage.disk import SimulatedDisk
+
+
+def make_sorter(entries: int) -> tuple[ExternalSorter, SimulatedDisk]:
+    disk = SimulatedDisk()
+    return ExternalSorter(disk, memory_bytes=48 * entries), disk
+
+
+def test_bad_memory_rejected():
+    with pytest.raises(ValueError):
+        ExternalSorter(SimulatedDisk(), memory_bytes=0)
+
+
+def test_empty_input():
+    sorter, _ = make_sorter(16)
+    assert list(sorter.sort(iter([]))) == []
+
+
+def test_in_memory_sort_no_runs():
+    sorter, disk = make_sorter(100)
+    items = [(float(v), v) for v in [3, 1, 2]]
+    assert [k for k, _ in sorter.sort(iter(items))] == [1.0, 2.0, 3.0]
+    assert sorter.runs_created == 0
+    assert disk.stats.sequential_write_pages == 0
+
+
+def test_spilling_creates_runs_and_charges_io():
+    sorter, disk = make_sorter(16)
+    rng = random.Random(0)
+    items = [(rng.random(), i) for i in range(200)]
+    out = [k for k, _ in sorter.sort(iter(items))]
+    assert out == sorted(k for k, _ in items)
+    assert sorter.runs_created >= 2
+    assert disk.stats.sequential_write_pages > 0
+    assert disk.stats.sequential_read_pages > 0
+
+
+def test_multi_pass_merge_with_tiny_memory():
+    sorter, _ = make_sorter(16)  # fan-in floor kicks in
+    rng = random.Random(1)
+    items = [(rng.random(), i) for i in range(5000)]
+    out = [k for k, _ in sorter.sort(iter(items))]
+    assert out == sorted(k for k, _ in items)
+    assert sorter.merge_passes >= 1
+
+
+def test_payloads_preserved():
+    sorter, _ = make_sorter(16)
+    items = [(float(100 - i), f"payload{i}") for i in range(100)]
+    out = list(sorter.sort(iter(items)))
+    assert out[0] == (1.0, "payload99")
+    assert out[-1] == (100.0, "payload0")
+
+
+def test_stable_for_equal_keys_count():
+    sorter, _ = make_sorter(16)
+    items = [(1.0, i) for i in range(50)]
+    out = list(sorter.sort(iter(items)))
+    assert sorted(p for _, p in out) == list(range(50))
+
+
+def test_streaming_consumption_early_stop():
+    sorter, _ = make_sorter(16)
+    rng = random.Random(2)
+    items = [(rng.random(), i) for i in range(300)]
+    stream = sorter.sort(iter(items))
+    first_ten = [next(stream)[0] for _ in range(10)]
+    assert first_ten == sorted(k for k, _ in items)[:10]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)),
+       st.integers(min_value=16, max_value=64))
+def test_sort_is_permutation_and_ordered(values, entries):
+    sorter, _ = make_sorter(entries)
+    out = [k for k, _ in sorter.sort((v, None) for v in values)]
+    assert out == sorted(values)

@@ -1,0 +1,94 @@
+"""Tests for the read-only file-backed R-tree."""
+
+import pytest
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.geometry.rect import Rect
+from repro.rtree import FileRTree, RTree
+
+from tests.conftest import random_rects
+
+
+@pytest.fixture()
+def saved_tree(tmp_path):
+    items = random_rects(400, seed=71)
+    tree = RTree.bulk_load(items, max_entries=16)
+    path = tmp_path / "idx.rt"
+    tree.save(path)
+    return tree, path, items
+
+
+class TestFileRTree:
+    def test_open_matches_metadata(self, saved_tree):
+        tree, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            assert ft.size == tree.size
+            assert ft.height == tree.height
+            assert ft.max_entries == tree.max_entries
+            assert ft.bounds() == tree.bounds()
+
+    def test_validate_passes(self, saved_tree):
+        _, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            ft.validate()
+
+    def test_search_matches_memory_tree(self, saved_tree):
+        tree, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            for window in (Rect(0, 0, 200, 200), Rect(400, 100, 900, 800)):
+                assert sorted(ft.search(window)) == sorted(tree.search(window))
+
+    def test_nearest_matches_memory_tree(self, saved_tree):
+        tree, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            assert ft.nearest(123.0, 456.0, 9) == tree.nearest(123.0, 456.0, 9)
+
+    def test_joins_run_against_file_trees(self, saved_tree, tmp_path):
+        tree, path, items = saved_tree
+        other_items = random_rects(250, seed=72)
+        other = RTree.bulk_load(other_items, max_entries=16)
+        other_path = tmp_path / "other.rt"
+        other.save(other_path)
+
+        memory = JoinRunner(tree, other, JoinConfig(queue_memory=16 * 1024))
+        expected = memory.kdj(300, "amkdj").distances
+        with FileRTree.open(path) as fr, FileRTree.open(other_path) as fs:
+            filed = JoinRunner(fr, fs, JoinConfig(queue_memory=16 * 1024))
+            for algorithm in ("hs", "bkdj", "amkdj", "sjsort"):
+                got = filed.kdj(300, algorithm).distances
+                assert [round(d, 9) for d in got] == [
+                    round(d, 9) for d in expected
+                ], algorithm
+
+    def test_mutations_rejected(self, saved_tree):
+        _, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            with pytest.raises(TypeError):
+                ft.insert(Rect(0, 0, 1, 1), 1)
+            with pytest.raises(TypeError):
+                ft.delete(Rect(0, 0, 1, 1), 1)
+            with pytest.raises(TypeError):
+                ft.insert_all([])
+            with pytest.raises(TypeError):
+                ft.save("/tmp/x")
+
+    def test_bad_file_rejected(self, tmp_path):
+        junk = tmp_path / "junk.rt"
+        junk.write_bytes(b"garbage")
+        with pytest.raises(ValueError):
+            FileRTree.open(junk)
+
+    def test_out_of_range_page_rejected(self, saved_tree):
+        _, path, _ = saved_tree
+        with FileRTree.open(path) as ft:
+            with pytest.raises(KeyError):
+                ft.store.read(10_000)
+
+    def test_empty_tree_roundtrip(self, tmp_path):
+        tree = RTree.bulk_load([])
+        path = tmp_path / "empty.rt"
+        tree.save(path)
+        with FileRTree.open(path) as ft:
+            assert ft.size == 0
+            assert ft.search(Rect(0, 0, 1, 1)) == []
+            ft.validate()

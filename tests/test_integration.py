@@ -1,0 +1,110 @@
+"""Cross-algorithm and cross-metric integration tests.
+
+These run all algorithms on a moderately sized clustered dataset and
+check the *relations* the paper establishes between them — agreement on
+results, and the metric orderings the evaluation section reports.
+"""
+
+import math
+
+import pytest
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.datagen.tiger import synthetic_tiger
+from repro.rtree.tree import RTree
+
+from tests.conftest import assert_distances_close
+
+
+@pytest.fixture(scope="module")
+def tiger_runner():
+    data = synthetic_tiger(n_streets=4000, n_hydro=1500, seed=123)
+    tree_r = RTree.bulk_load(data.streets, max_entries=32)
+    tree_s = RTree.bulk_load(data.hydro, max_entries=32)
+    tree_r.validate()
+    tree_s.validate()
+    return JoinRunner(tree_r, tree_s, JoinConfig(queue_memory=64 * 1024,
+                                                 buffer_memory=64 * 1024))
+
+
+@pytest.fixture(scope="module")
+def kdj_results(tiger_runner):
+    k = 2000
+    return {
+        alg: tiger_runner.kdj(k, alg) for alg in ("hs", "bkdj", "amkdj", "sjsort")
+    }
+
+
+def test_all_kdj_algorithms_agree(kdj_results):
+    reference = kdj_results["bkdj"].distances
+    for alg, result in kdj_results.items():
+        assert_distances_close(result.distances, reference)
+
+
+def test_idj_algorithms_agree_with_kdj(tiger_runner, kdj_results):
+    reference = kdj_results["bkdj"].distances
+    for alg in ("hs", "amidj"):
+        stream = tiger_runner.idj(alg)
+        got = [p.distance for p in stream.next_batch(2000)]
+        assert_distances_close(got, reference)
+
+
+def test_results_are_sorted(kdj_results):
+    for alg, result in kdj_results.items():
+        d = result.distances
+        assert d == sorted(d), alg
+
+
+def test_amkdj_prunes_at_least_as_well_as_bkdj(kdj_results):
+    """The paper: AM-KDJ never does more work than B-KDJ (Section 5.6)."""
+    am = kdj_results["amkdj"].stats
+    b = kdj_results["bkdj"].stats
+    assert am.queue_insertions <= b.queue_insertions
+    assert am.real_distance_computations <= b.real_distance_computations
+
+
+def test_bidirectional_beats_unidirectional_node_accesses(kdj_results):
+    """Table 2's headline: HS needs far more unbuffered node fetches."""
+    hs = kdj_results["hs"].stats
+    b = kdj_results["bkdj"].stats
+    assert hs.node_accesses_unbuffered > b.node_accesses_unbuffered
+
+
+def test_hs_does_most_distance_computations(kdj_results):
+    hs = kdj_results["hs"].stats
+    for alg in ("bkdj", "amkdj"):
+        assert hs.real_distance_computations > kdj_results[alg].stats.real_distance_computations
+
+
+def test_amkdj_matches_bkdj_node_accesses(kdj_results):
+    """Table 2 reports identical node-access counts for B-KDJ and AM-KDJ."""
+    assert (
+        kdj_results["amkdj"].stats.node_accesses_unbuffered
+        == kdj_results["bkdj"].stats.node_accesses_unbuffered
+    )
+
+
+def test_metric_consistency(kdj_results):
+    for alg, result in kdj_results.items():
+        s = result.stats
+        assert s.node_accesses <= s.node_accesses_unbuffered, alg
+        assert math.isclose(s.response_time, s.io_time + s.cpu_time, rel_tol=1e-9)
+        assert s.results == 2000
+
+
+def test_amidj_beats_hsidj_on_queue_traffic(tiger_runner):
+    stats = {}
+    for alg in ("hs", "amidj"):
+        stream = tiger_runner.idj(alg)
+        stream.next_batch(1500)
+        stats[alg] = stream.stats()
+    assert stats["amidj"].queue_insertions < stats["hs"].queue_insertions
+    assert stats["amidj"].real_distance_computations < stats["hs"].real_distance_computations
+
+
+def test_sjsort_distance_comps_flat_in_k(tiger_runner):
+    """SJ-SORT's join cost depends on Dmax, not k, once Dmax is fixed."""
+    dmax = tiger_runner.true_dmax(1000)
+    small = tiger_runner.kdj(500, "sjsort", dmax=dmax).stats
+    large = tiger_runner.kdj(1000, "sjsort", dmax=dmax).stats
+    assert small.real_distance_computations == large.real_distance_computations

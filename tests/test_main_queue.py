@@ -1,0 +1,151 @@
+"""Tests for the hybrid memory/disk main queue."""
+
+import heapq
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queues.main_queue import MainQueue
+from repro.storage.disk import SimulatedDisk
+
+
+def make_queue(entries: int = 32, rho: float | None = None) -> tuple[MainQueue, SimulatedDisk]:
+    disk = SimulatedDisk()
+    queue = MainQueue(disk, memory_bytes=48 * entries, rho=rho)
+    return queue, disk
+
+
+class TestValidation:
+    def test_bad_memory(self):
+        with pytest.raises(ValueError):
+            MainQueue(SimulatedDisk(), memory_bytes=0)
+
+    def test_bad_rho(self):
+        with pytest.raises(ValueError):
+            MainQueue(SimulatedDisk(), memory_bytes=1024, rho=0.0)
+
+    def test_bad_entry_bytes(self):
+        with pytest.raises(ValueError):
+            MainQueue(SimulatedDisk(), memory_bytes=1024, entry_bytes=0)
+
+    def test_pop_empty_raises(self):
+        queue, _ = make_queue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+
+class TestBasics:
+    def test_fifo_of_priorities(self):
+        queue, _ = make_queue()
+        for v in [5.0, 1.0, 3.0]:
+            queue.insert(v, f"p{v}")
+        assert queue.pop() == (1.0, "p1.0")
+        assert queue.peek_key() == 3.0
+        assert len(queue) == 2
+        assert bool(queue)
+
+    def test_in_memory_until_capacity(self):
+        queue, disk = make_queue(entries=16)
+        for v in range(16):
+            queue.insert(float(v), None)
+        assert queue.stats.splits == 0
+        assert queue.in_memory_size == 16
+
+    def test_split_on_overflow(self):
+        queue, _ = make_queue(entries=8)
+        for v in range(20):
+            queue.insert(float(v), None)
+        assert queue.stats.splits >= 1
+        assert queue.segment_count >= 1
+        assert queue.check_invariant()
+
+    def test_swap_in_restores_order(self):
+        queue, _ = make_queue(entries=8)
+        values = [float(v) for v in range(50)]
+        random.Random(3).shuffle(values)
+        for v in values:
+            queue.insert(v, None)
+        out = [queue.pop()[0] for _ in range(50)]
+        assert out == sorted(values)
+        assert queue.stats.swap_ins >= 1
+
+    def test_peak_size_tracked(self):
+        queue, _ = make_queue()
+        for v in range(10):
+            queue.insert(float(v), None)
+        for _ in range(10):
+            queue.pop()
+        assert queue.stats.peak_size == 10
+        assert len(queue) == 0 and not queue
+
+
+class TestRhoBoundaries:
+    def test_far_inserts_spill_immediately(self):
+        # boundary b1 = sqrt(32 * 1.0) ~ 5.66: distances beyond go to disk
+        queue, _ = make_queue(entries=32, rho=1.0)
+        queue.insert(100.0, None)
+        assert queue.in_memory_size == 0
+        assert queue.segment_count == 1
+        queue.insert(1.0, None)
+        assert queue.in_memory_size == 1
+
+    def test_rho_mode_sorted_output(self):
+        queue, _ = make_queue(entries=16, rho=0.5)
+        values = [random.Random(7).uniform(0, 500) for _ in range(300)]
+        for v in values:
+            queue.insert(v, None)
+        assert [queue.pop()[0] for _ in range(300)] == sorted(values)
+
+    def test_huge_distances_go_to_tail_segment(self):
+        queue, _ = make_queue(entries=8, rho=0.001)
+        queue.insert(1e9, "far")
+        queue.insert(2e9, "farther")
+        assert queue.segment_count == 1  # both in the open-ended tail
+        assert queue.pop() == (1e9, "far")
+
+
+class TestCostAccounting:
+    def test_spills_charge_io(self):
+        queue, disk = make_queue(entries=8)
+        for v in range(500):
+            queue.insert(float(v), None)
+        assert disk.stats.sequential_write_pages > 0
+
+    def test_swap_ins_charge_reads(self):
+        queue, disk = make_queue(entries=8)
+        for v in range(100):
+            queue.insert(float(v), None)
+        before = disk.stats.sequential_read_pages
+        for _ in range(100):
+            queue.pop()
+        assert disk.stats.sequential_read_pages > before
+
+    def test_every_operation_charges_cpu(self):
+        queue, disk = make_queue()
+        queue.insert(1.0, None)
+        queue.pop()
+        assert disk.cpu_time > 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0, max_value=1000, allow_nan=False)),
+        max_size=400,
+    ),
+    st.sampled_from([None, 0.05, 2.0, 100.0]),
+)
+def test_interleaved_matches_reference_heap(ops, rho):
+    queue, _ = make_queue(entries=8, rho=rho)
+    model: list[float] = []
+    for is_push, value in ops:
+        if is_push or not model:
+            queue.insert(value, None)
+            heapq.heappush(model, value)
+        else:
+            assert queue.pop()[0] == heapq.heappop(model)
+    assert len(queue) == len(model)
+    while model:
+        assert queue.pop()[0] == heapq.heappop(model)

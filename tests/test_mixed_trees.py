@@ -1,0 +1,115 @@
+"""Joins between structurally mismatched trees.
+
+The expansion machinery must cope with trees of very different heights
+(an object on one side paired against a directory node on the other
+degenerates the bidirectional sweep to uni-directional) and with
+degenerate datasets.  These paths are exercised explicitly here.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree
+
+from tests.conftest import (
+    assert_distances_close,
+    brute_force_distances,
+    random_rects,
+)
+
+ALGORITHMS = ("hs", "bkdj", "amkdj", "sjsort", "nlj")
+CFG = JoinConfig(queue_memory=8 * 1024)
+
+
+def check_all(items_r, items_s, tree_r, tree_s, k):
+    expected = brute_force_distances(items_r, items_s, k)
+    runner = JoinRunner(tree_r, tree_s, CFG)
+    for algorithm in ALGORITHMS:
+        got = runner.kdj(k, algorithm).distances
+        assert_distances_close(got, expected)
+    for algorithm in ("hs", "amidj"):
+        got = [p.distance for p in runner.idj(algorithm).next_batch(k)]
+        assert_distances_close(got, expected)
+
+
+def test_tall_vs_shallow_tree():
+    """Height difference >= 2: item-vs-node pairs at several levels."""
+    items_r = random_rects(600, seed=91)
+    items_s = random_rects(8, seed=92)
+    tall = RTree(max_entries=4)
+    tall.insert_all(items_r)
+    shallow = RTree.bulk_load(items_s, max_entries=32)
+    assert tall.height - shallow.height >= 2
+    check_all(items_r, items_s, tall, shallow, 300)
+
+
+def test_single_object_side():
+    items_r = random_rects(200, seed=93)
+    items_s = [(Rect.from_point(500.0, 500.0), 0)]
+    tree_r = RTree.bulk_load(items_r, max_entries=8)
+    tree_s = RTree.bulk_load(items_s)
+    check_all(items_r, items_s, tree_r, tree_s, 50)
+
+
+def test_identical_datasets_distinct_trees():
+    items = random_rects(80, seed=94)
+    tree_a = RTree.bulk_load(items, max_entries=8)
+    tree_b = RTree(max_entries=6)
+    tree_b.insert_all(items)
+    check_all(items, items, tree_a, tree_b, 200)
+
+
+def test_all_objects_at_one_point():
+    items_r = [(Rect.from_point(1.0, 1.0), i) for i in range(40)]
+    items_s = [(Rect.from_point(1.0, 1.0), i) for i in range(30)]
+    tree_r = RTree.bulk_load(items_r, max_entries=8)
+    tree_s = RTree.bulk_load(items_s, max_entries=8)
+    runner = JoinRunner(tree_r, tree_s, CFG)
+    for algorithm in ALGORITHMS:
+        result = runner.kdj(500, algorithm)
+        assert len(result) == 500
+        assert all(p.distance == 0.0 for p in result.results)
+
+
+def test_collinear_degenerate_geometry():
+    items_r = [(Rect(float(i), 0.0, float(i), 0.0), i) for i in range(50)]
+    items_s = [(Rect(float(i) + 0.25, 0.0, float(i) + 0.25, 0.0), i) for i in range(40)]
+    tree_r = RTree.bulk_load(items_r, max_entries=8)
+    tree_s = RTree.bulk_load(items_s, max_entries=8)
+    check_all(items_r, items_s, tree_r, tree_s, 120)
+
+
+def test_wildly_different_scales():
+    items_r = random_rects(60, seed=95, span=1.0, max_side=0.01)
+    items_s = random_rects(60, seed=96, span=1e6, max_side=100.0)
+    tree_r = RTree.bulk_load(items_r, max_entries=8)
+    tree_s = RTree.bulk_load(items_s, max_entries=8)
+    check_all(items_r, items_s, tree_r, tree_s, 100)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    schedule=st.lists(st.floats(0.01, 500.0), min_size=1, max_size=6),
+    initial_k=st.integers(1, 40),
+)
+def test_amidj_correct_for_any_stage_schedule(seed, schedule, initial_k):
+    """AM-IDJ's ordering must survive arbitrary (even absurd) cutoffs."""
+    items_r = random_rects(50, seed=seed, span=400)
+    items_s = random_rects(40, seed=seed + 1, span=400)
+    runner = JoinRunner(
+        RTree.bulk_load(items_r, max_entries=4),
+        RTree.bulk_load(items_s, max_entries=4),
+        JoinConfig(
+            queue_memory=4 * 1024,
+            initial_k=initial_k,
+            edmax_schedule=tuple(sorted(schedule)),
+        ),
+    )
+    expected = brute_force_distances(items_r, items_s, 500)
+    got = [p.distance for p in runner.idj("amidj").next_batch(500)]
+    assert_distances_close(got, expected)

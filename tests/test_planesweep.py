@@ -1,0 +1,297 @@
+"""Tests for the optimized plane sweep: index, axis/direction, sweeping."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pairs import Item
+from repro.core.planesweep import (
+    PlaneSweeper,
+    choose_axis,
+    choose_direction,
+    static_cutoff,
+    sweeping_index,
+    table1_sweeping_index,
+)
+from repro.core.stats import Instruments
+from repro.geometry.distances import min_distance
+from repro.geometry.rect import Rect
+from repro.rtree.tree import RTree, TreeAccessor
+from repro.storage.disk import SimulatedDisk
+
+
+def make_instruments() -> Instruments:
+    disk = SimulatedDisk()
+    dummy = RTree.bulk_load([(Rect(0, 0, 1, 1), 0)])
+    acc = TreeAccessor(dummy, disk, 4096)
+    return Instruments(disk, acc, acc)
+
+
+def items_from_points(points: list[tuple[float, float]]) -> list[Item]:
+    return [Item.object(Rect.from_point(x, y), i) for i, (x, y) in enumerate(points)]
+
+
+# ----------------------------------------------------------------------
+# Sweeping index
+# ----------------------------------------------------------------------
+
+
+class TestSweepingIndex:
+    def test_zero_cutoff(self):
+        assert sweeping_index(Rect(0, 0, 1, 1), Rect(5, 0, 6, 1), 0, 0.0) == 0.0
+
+    def test_below_gap_is_zero(self):
+        # alpha = 4; cutoff below it never reaches s
+        assert sweeping_index(Rect(0, 0, 1, 1), Rect(5, 0, 6, 1), 0, 3.0) == 0.0
+
+    def test_huge_cutoff_saturates_at_one(self):
+        r, s = Rect(0, 0, 2, 1), Rect(5, 0, 8, 1)
+        # every child of r sees all of s (fraction 1); s's forward windows
+        # never reach r, so the second term is zero (paper Section 3.2)
+        assert math.isclose(sweeping_index(r, s, 0, 1000.0), 1.0)
+
+    def test_monotone_in_cutoff(self):
+        r, s = Rect(0, 0, 4, 1), Rect(2, 0, 9, 1)
+        values = [sweeping_index(r, s, 0, c) for c in (0.5, 1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_overlapping_nodes_positive_both_terms(self):
+        r, s = Rect(0, 0, 4, 4), Rect(1, 1, 3, 3)
+        assert sweeping_index(r, s, 0, 1.0) > 0.0
+
+    def test_matches_closed_form_hand_case(self):
+        # r = [0,2], s = [5,8], cutoff 6, gap alpha = 3: the raw integral
+        # of clamp(u, 0, 3) for u in [1, 3] is (9 - 1)/2 = 4; divide by
+        # |s| = 3 and normalize by |r| = 2.
+        r, s = Rect(0, 0, 2, 1), Rect(5, 0, 8, 1)
+        assert math.isclose(sweeping_index(r, s, 0, 6.0), 4.0 / 3.0 / 2.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(0.1, 50),   # |r|
+        st.floats(0.1, 50),   # |s|
+        st.floats(0.0, 20),   # gap alpha
+        st.floats(0.01, 200),  # cutoff
+    )
+    def test_agrees_with_table1_closed_form(self, len_r, len_s, alpha, cutoff):
+        r = Rect(0.0, 0.0, len_r, 1.0)
+        s = Rect(len_r + alpha, 0.0, len_r + alpha + len_s, 1.0)
+        exact = sweeping_index(r, s, 0, cutoff)
+        closed = table1_sweeping_index(r, s, 0, cutoff)
+        # the exact index normalizes the Table 1 integral by |r|
+        assert math.isclose(exact, closed / len_r, rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_table1_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            table1_sweeping_index(Rect(0, 0, 2, 1), Rect(1, 0, 3, 1), 0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Axis and direction selection
+# ----------------------------------------------------------------------
+
+
+class TestAxisChoice:
+    def test_prefers_spread_axis_for_infinite_cutoff(self):
+        instr = make_instruments()
+        r, s = Rect(0, 0, 1, 100), Rect(2, 0, 3, 100)
+        assert choose_axis(instr, r, s, math.inf) == 1
+
+    def test_prefers_low_index_axis(self):
+        instr = make_instruments()
+        # Wide spread along y, tight along x: y windows overlap less.
+        r, s = Rect(0, 0, 2, 50), Rect(1, 0, 3, 50)
+        assert choose_axis(instr, r, s, 1.0) == 1
+
+    def test_paper_figure5_scenario(self):
+        # Children spread widely along y; x distances all within cutoff.
+        instr = make_instruments()
+        r = Rect(0.0, 0.0, 4.0, 100.0)
+        s = Rect(1.0, 0.0, 5.0, 100.0)
+        assert choose_axis(instr, r, s, 10.0) == 1
+
+
+class TestDirectionChoice:
+    def test_intersecting_case(self):
+        # Fig 7(a): intervals [0,3] (left) / [3,4] / [4,6] (right)
+        assert choose_direction(Rect(0, 0, 4, 1), Rect(3, 0, 6, 1), 0) is False
+        # left interval [0,1] shorter than right [3,6] -> forward
+        assert choose_direction(Rect(0, 0, 3, 1), Rect(1, 0, 6, 1), 0) is True
+
+    def test_disjoint_case(self):
+        # Fig 7(b): left node shorter -> forward
+        assert choose_direction(Rect(0, 0, 1, 1), Rect(5, 0, 9, 1), 0) is True
+        assert choose_direction(Rect(0, 0, 4, 1), Rect(5, 0, 6, 1), 0) is False
+
+    def test_containment_case(self):
+        # Fig 7(c): both outer intervals from the big node
+        assert choose_direction(Rect(0, 0, 10, 1), Rect(1, 0, 4, 1), 0) is True
+        assert choose_direction(Rect(0, 0, 10, 1), Rect(7, 0, 9, 1), 0) is False
+
+    def test_tie_is_forward(self):
+        assert choose_direction(Rect(0, 0, 2, 1), Rect(0, 0, 2, 1), 0) is True
+
+
+# ----------------------------------------------------------------------
+# The sweep itself
+# ----------------------------------------------------------------------
+
+
+def run_expand(
+    items_r: list[Item],
+    items_s: list[Item],
+    cutoff: float,
+    optimize_axis=True,
+    optimize_direction=True,
+    keep_record=False,
+    real_cutoff: float | None = None,
+):
+    instr = make_instruments()
+    sweeper = PlaneSweeper(instr, optimize_axis, optimize_direction)
+    emitted: list[tuple[int, int, float]] = []
+    parent_r = Item.node(Rect.union_of([i.rect for i in items_r]), 0, 1)
+    parent_s = Item.node(Rect.union_of([i.rect for i in items_s]), 0, 1)
+    record = sweeper.expand(
+        parent_r,
+        parent_s,
+        items_r,
+        items_s,
+        axis_limit=static_cutoff(cutoff),
+        real_limit=static_cutoff(real_cutoff if real_cutoff is not None else cutoff),
+        emit=lambda a, b, d: emitted.append((a.ref, b.ref, d)),
+        keep_record=keep_record,
+        record_real_cutoff=real_cutoff,
+    )
+    return emitted, record, sweeper, instr
+
+
+def brute_pairs(items_r, items_s, cutoff):
+    return {
+        (a.ref, b.ref)
+        for a, b in itertools.product(items_r, items_s)
+        if min_distance(a.rect, b.rect) <= cutoff
+    }
+
+
+@pytest.mark.parametrize("optimize_axis", [False, True])
+@pytest.mark.parametrize("optimize_direction", [False, True])
+def test_sweep_finds_exactly_pairs_within_cutoff(optimize_axis, optimize_direction):
+    rng = random.Random(42)
+    items_r = items_from_points([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(40)])
+    items_s = items_from_points([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(30)])
+    for cutoff in (0.0, 5.0, 20.0, 200.0):
+        emitted, _, _, _ = run_expand(
+            items_r, items_s, cutoff, optimize_axis, optimize_direction
+        )
+        got = {(a, b) for a, b, _ in emitted}
+        assert got == brute_pairs(items_r, items_s, cutoff)
+        assert len(emitted) == len(got), "pair emitted twice"
+
+
+def test_sweep_distances_are_correct():
+    rng = random.Random(1)
+    items_r = items_from_points([(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(20)])
+    items_s = items_from_points([(rng.uniform(0, 50), rng.uniform(0, 50)) for _ in range(20)])
+    emitted, _, _, _ = run_expand(items_r, items_s, 30.0)
+    for a, b, d in emitted:
+        assert math.isclose(
+            d, min_distance(items_r[a].rect, items_s[b].rect), abs_tol=1e-12
+        )
+
+
+def test_sweep_counts_axis_and_real_computations():
+    rng = random.Random(2)
+    items_r = items_from_points([(rng.uniform(0, 10), 0.0) for _ in range(10)])
+    items_s = items_from_points([(rng.uniform(0, 10), 0.0) for _ in range(10)])
+    _, _, _, instr = run_expand(items_r, items_s, 100.0)
+    assert instr.axis_distance_computations >= instr.real_distance_computations > 0
+
+
+def test_emit_keeps_r_side_first():
+    items_r = items_from_points([(0.0, 0.0)])
+    items_s = items_from_points([(1.0, 0.0), (-1.0, 0.0)])
+    emitted, _, _, _ = run_expand(items_r, items_s, 10.0)
+    assert {(a, b) for a, b, _ in emitted} == {(0, 0), (0, 1)}
+
+
+class TestCompensation:
+    def _compensate(self, record, sweeper, cutoff, recheck_cutoff=None):
+        emitted: list[tuple[int, int, float]] = []
+        sweeper.compensate(
+            record,
+            axis_limit=static_cutoff(cutoff),
+            real_limit=static_cutoff(cutoff),
+            emit=lambda a, b, d: emitted.append((a.ref, b.ref, d)),
+            new_record_real_cutoff=recheck_cutoff,
+        )
+        return emitted
+
+    def test_resume_recovers_exactly_the_skipped_pairs(self):
+        rng = random.Random(3)
+        items_r = items_from_points(
+            [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(30)]
+        )
+        items_s = items_from_points(
+            [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(25)]
+        )
+        small, large = 8.0, 25.0
+        emitted1, record, sweeper, _ = run_expand(
+            items_r, items_s, small, keep_record=True, real_cutoff=None
+        )
+        # Stage one used a safe real filter (== axis cutoff here), so mark
+        # the in-window pruning as unsafe to exercise the recheck path:
+        record.real_cutoff = small
+        emitted2 = self._compensate(record, sweeper, large, recheck_cutoff=large)
+        got = {(a, b) for a, b, _ in emitted1} | {(a, b) for a, b, _ in emitted2}
+        assert got == brute_pairs(items_r, items_s, large)
+        overlap = {(a, b) for a, b, _ in emitted1} & {(a, b) for a, b, _ in emitted2}
+        assert not overlap, "compensation re-emitted a pair"
+
+    def test_multi_stage_compensation(self):
+        rng = random.Random(4)
+        items_r = items_from_points(
+            [(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(20)]
+        )
+        items_s = items_from_points(
+            [(rng.uniform(0, 60), rng.uniform(0, 60)) for _ in range(20)]
+        )
+        cutoffs = [3.0, 10.0, 40.0, 200.0]
+        emitted_all: set[tuple[int, int]] = set()
+        emitted1, record, sweeper, _ = run_expand(
+            items_r, items_s, cutoffs[0], keep_record=True, real_cutoff=cutoffs[0]
+        )
+        emitted_all |= {(a, b) for a, b, _ in emitted1}
+        for cutoff in cutoffs[1:]:
+            emitted = self._compensate(record, sweeper, cutoff, recheck_cutoff=cutoff)
+            new = {(a, b) for a, b, _ in emitted}
+            assert not (new & emitted_all), "duplicate across stages"
+            emitted_all |= new
+            assert emitted_all == brute_pairs(items_r, items_s, cutoff)
+
+    def test_fully_swept_detection(self):
+        items_r = items_from_points([(0.0, 0.0), (1.0, 0.0)])
+        items_s = items_from_points([(0.5, 0.0), (2.0, 0.0)])
+        _, record, sweeper, _ = run_expand(
+            items_r, items_s, 100.0, keep_record=True
+        )
+        assert record.fully_swept()
+        _, record2, _, _ = run_expand(
+            items_r, items_s, 0.6, keep_record=True
+        )
+        assert not record2.fully_swept()
+
+
+def test_fixed_sweep_is_x_axis_forward():
+    # With optimizations off, pairs along y should not benefit from the
+    # axis cutoff at all: everything within x-cutoff gets a real check.
+    items_r = items_from_points([(0.0, y) for y in range(10)])
+    items_s = items_from_points([(0.5, y + 1000.0) for y in range(10)])
+    _, _, _, instr = run_expand(
+        items_r, items_s, 5.0, optimize_axis=False, optimize_direction=False
+    )
+    fixed_reals = instr.real_distance_computations
+    _, _, _, instr2 = run_expand(items_r, items_s, 5.0)
+    assert instr2.real_distance_computations < fixed_reals

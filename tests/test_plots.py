@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.workloads.plots import ascii_chart
+
+ROWS = [
+    {"k": 10, "alg": "a", "y": 100.0},
+    {"k": 100, "alg": "a", "y": 400.0},
+    {"k": 10, "alg": "b", "y": 300.0},
+    {"k": 100, "alg": "b", "y": 1200.0},
+]
+
+
+def test_contains_markers_and_legend():
+    text = ascii_chart(ROWS, "k", "y", "alg", title="T")
+    assert text.startswith("T")
+    assert "A = a" in text and "B = b" in text
+    assert "A" in text.splitlines()[2] or any(
+        "A" in line for line in text.splitlines()
+    )
+
+
+def test_log_scales_render(capsys):
+    text = ascii_chart(ROWS, "k", "y", "alg", log_x=True, log_y=True)
+    assert "x: k (log)" in text
+    assert "y: y (log)" in text
+
+
+def test_non_finite_points_dropped():
+    rows = ROWS + [{"k": math.inf, "alg": "a", "y": 5.0}]
+    text = ascii_chart(rows, "k", "y", "alg")
+    assert "dropped" in text
+
+
+def test_non_positive_dropped_on_log():
+    rows = ROWS + [{"k": 0, "alg": "a", "y": 5.0}]
+    text = ascii_chart(rows, "k", "y", "alg", log_x=True)
+    assert "dropped" in text
+
+
+def test_empty_rows():
+    assert "no plottable points" in ascii_chart([], "k", "y", "alg")
+
+
+def test_single_point_no_crash():
+    text = ascii_chart([{"k": 5, "alg": "a", "y": 7}], "k", "y", "alg")
+    assert "A = a" in text
+
+
+def test_constant_series_no_division_by_zero():
+    rows = [{"k": 1, "alg": "a", "y": 3}, {"k": 2, "alg": "a", "y": 3}]
+    text = ascii_chart(rows, "k", "y", "alg")
+    assert "A" in text
+
+
+def test_missing_columns_skipped():
+    rows = ROWS + [{"alg": "a"}, {"k": 1, "alg": "b", "y": "not-a-number"}]
+    text = ascii_chart(rows, "k", "y", "alg")
+    assert "A = a" in text
+
+
+def test_axis_labels_show_ranges():
+    text = ascii_chart(ROWS, "k", "y", "alg")
+    assert "1,200" in text
+    assert "100" in text

@@ -1,0 +1,88 @@
+"""Tests for the main queue's real spill-to-disk mode."""
+
+import heapq
+import os
+import random
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.queues.main_queue import MainQueue
+from repro.rtree.tree import RTree
+from repro.storage.disk import SimulatedDisk
+
+from tests.conftest import (
+    assert_distances_close,
+    brute_force_distances,
+    random_rects,
+)
+
+
+def test_spill_mode_preserves_order(tmp_path):
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=0.5, spill_dir=tmp_path
+    )
+    rng = random.Random(1)
+    values = [rng.uniform(0, 300) for _ in range(2000)]
+    for v in values:
+        queue.insert(v, {"payload": v})
+    out = [queue.pop() for _ in range(2000)]
+    assert [k for k, _ in out] == sorted(values)
+    assert all(p["payload"] == k for k, p in out)
+
+
+def test_spill_files_created_and_cleaned(tmp_path):
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=0.1, spill_dir=tmp_path
+    )
+    for v in range(5000):
+        queue.insert(float(v % 613), v)
+    assert queue.spill_files > 0
+    assert any(tmp_path.iterdir())
+    while queue:
+        queue.pop()
+    assert queue.spill_files == 0
+    assert not any(tmp_path.iterdir())
+
+
+def test_spill_matches_reference_heap_interleaved(tmp_path):
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=None, spill_dir=tmp_path
+    )
+    model: list[float] = []
+    rng = random.Random(2)
+    for _ in range(4000):
+        if rng.random() < 0.6 or not model:
+            v = rng.uniform(0, 100)
+            queue.insert(v, None)
+            heapq.heappush(model, v)
+        else:
+            assert queue.pop()[0] == heapq.heappop(model)
+    while model:
+        assert queue.pop()[0] == heapq.heappop(model)
+
+
+def test_join_runs_with_real_spill(tmp_path, small_trees, small_r, small_s):
+    tree_r, tree_s = small_trees
+    config = JoinConfig(queue_memory=2 * 1024, spill_dir=str(tmp_path))
+    runner = JoinRunner(tree_r, tree_s, config)
+    expected = brute_force_distances(small_r, small_s, 800)
+    for algorithm in ("hs", "bkdj", "amkdj"):
+        result = runner.kdj(800, algorithm)
+        assert_distances_close(result.distances, expected)
+
+
+def test_spill_identical_metrics_to_simulated(small_trees):
+    """Real spill must not change *what* the algorithms do, only where
+    the bytes live."""
+    import tempfile
+
+    tree_r, tree_s = small_trees
+    plain = JoinRunner(
+        tree_r, tree_s, JoinConfig(queue_memory=2 * 1024)
+    ).kdj(500, "bkdj").stats
+    with tempfile.TemporaryDirectory() as spill:
+        spilled = JoinRunner(
+            tree_r, tree_s, JoinConfig(queue_memory=2 * 1024, spill_dir=spill)
+        ).kdj(500, "bkdj").stats
+    assert spilled.queue_insertions == plain.queue_insertions
+    assert spilled.real_distance_computations == plain.real_distance_computations
+    assert spilled.queue_splits == plain.queue_splits

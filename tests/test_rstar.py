@@ -1,0 +1,120 @@
+"""Tests for R* insertion internals: split selection and the inserter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.rect import Rect
+from repro.rtree.entries import Entry
+from repro.rtree.rstar import choose_split
+from repro.rtree.tree import RTree
+
+from tests.conftest import random_rects
+
+
+def entries_from(rects: list[Rect]) -> list[Entry]:
+    return [Entry(r, i) for i, r in enumerate(rects)]
+
+
+class TestChooseSplit:
+    def test_underfull_rejected(self):
+        entries = entries_from([Rect(0, 0, 1, 1)] * 3)
+        with pytest.raises(ValueError):
+            choose_split(entries, 2)
+
+    def test_groups_partition_entries(self):
+        rng = random.Random(0)
+        rects = [
+            Rect(x, y, x + 1, y + 1)
+            for x, y in ((rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(11))
+        ]
+        entries = entries_from(rects)
+        a, b = choose_split(entries, 4)
+        assert len(a) + len(b) == 11
+        assert {e.ref for e in a} | {e.ref for e in b} == set(range(11))
+        assert len(a) >= 4 and len(b) >= 4
+
+    def test_obvious_two_clusters_split_cleanly(self):
+        left = [Rect(x, 0, x + 1, 1) for x in range(5)]
+        right = [Rect(x + 100, 0, x + 101, 1) for x in range(6)]
+        a, b = choose_split(entries_from(left + right), 4)
+        bb_a = Rect.union_of(e.rect for e in a)
+        bb_b = Rect.union_of(e.rect for e in b)
+        assert bb_a.intersection_area(bb_b) == 0.0
+
+    def test_vertical_clusters_pick_y_axis(self):
+        bottom = [Rect(0, y, 1, y + 1) for y in range(5)]
+        top = [Rect(0, y + 100, 1, y + 101) for y in range(6)]
+        a, b = choose_split(entries_from(bottom + top), 4)
+        ys = {e.rect.ymin < 50 for e in a}
+        assert len(ys) == 1  # group a is purely one cluster
+
+
+class TestInsertion:
+    def test_sequential_inserts_stay_valid(self):
+        tree = RTree(max_entries=8)
+        for rect, oid in random_rects(300, seed=5):
+            tree.insert(rect, oid)
+        tree.validate()
+        assert tree.size == 300
+
+    def test_root_split_grows_height(self):
+        tree = RTree(max_entries=4)
+        heights = set()
+        for rect, oid in random_rects(100, seed=6):
+            tree.insert(rect, oid)
+            heights.add(tree.height)
+        assert max(heights) >= 3
+        tree.validate()
+
+    def test_duplicate_rectangles(self):
+        tree = RTree(max_entries=4)
+        r = Rect(1, 1, 2, 2)
+        for i in range(50):
+            tree.insert(r, i)
+        tree.validate()
+        assert sorted(tree.search(r)) == list(range(50))
+
+    def test_degenerate_points(self):
+        tree = RTree(max_entries=4)
+        for i in range(60):
+            tree.insert(Rect.from_point(float(i % 7), float(i % 11)), i)
+        tree.validate()
+        assert tree.size == 60
+
+    def test_collinear_input(self):
+        tree = RTree(max_entries=5)
+        for i in range(80):
+            tree.insert(Rect(float(i), 0.0, float(i) + 0.5, 0.1), i)
+        tree.validate()
+        hits = tree.search(Rect(10.0, 0.0, 20.0, 1.0))
+        # closed rectangles: item 20 touches the window's right edge
+        assert sorted(hits) == list(range(10, 21))
+
+    def test_sorted_adversarial_order(self):
+        tree = RTree(max_entries=6)
+        items = sorted(random_rects(200, seed=7), key=lambda it: it[0].xmin)
+        for rect, oid in items:
+            tree.insert(rect, oid)
+        tree.validate()
+
+    def test_search_agrees_with_brute_force(self):
+        items = random_rects(250, seed=8)
+        tree = RTree(max_entries=8)
+        tree.insert_all(items)
+        window = Rect(200, 200, 500, 500)
+        expected = sorted(oid for rect, oid in items if rect.intersects(window))
+        assert sorted(tree.search(window)) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(5, 60))
+def test_random_insertion_always_valid(seed, count):
+    tree = RTree(max_entries=4)
+    items = random_rects(count, seed=seed, span=50.0, max_side=5.0)
+    tree.insert_all(items)
+    tree.validate()
+    window = Rect(10, 10, 30, 30)
+    expected = sorted(oid for rect, oid in items if rect.intersects(window))
+    assert sorted(tree.search(window)) == expected

@@ -1,0 +1,81 @@
+"""Focused unit tests for SJ-SORT pieces not covered elsewhere."""
+
+import pytest
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.core.base import JoinContext
+from repro.core.sjsort import sj_sort, spatial_join_within
+from repro.rtree.tree import RTree
+
+from tests.conftest import brute_force_distances, random_rects
+
+
+@pytest.fixture(scope="module")
+def trees():
+    items_r = random_rects(100, seed=301)
+    items_s = random_rects(70, seed=302)
+    return (
+        items_r,
+        items_s,
+        RTree.bulk_load(items_r, max_entries=8),
+        RTree.bulk_load(items_s, max_entries=8),
+    )
+
+
+def test_sj_sort_invalid_k(trees):
+    *_, tree_r, tree_s = trees
+    ctx = JoinContext(tree_r, tree_s)
+    with pytest.raises(ValueError):
+        sj_sort(ctx, 0, 10.0)
+
+
+def test_sj_sort_underestimated_dmax_returns_fewer(trees):
+    """SJ-SORT's known failure mode: an underestimated cutoff silently
+    loses answers — the reason the paper grants it the true Dmax."""
+    items_r, items_s, tree_r, tree_s = trees
+    k = 100
+    true_dmax = brute_force_distances(items_r, items_s, k)[-1]
+    ctx = JoinContext(tree_r, tree_s)
+    results, stats = sj_sort(ctx, k, true_dmax * 0.3)
+    assert len(results) < k
+
+
+def test_sj_sort_overestimated_dmax_still_exact_but_costlier(trees):
+    items_r, items_s, tree_r, tree_s = trees
+    k = 50
+    true_dmax = brute_force_distances(items_r, items_s, k)[-1]
+    exact = JoinContext(tree_r, tree_s)
+    results_exact, stats_exact = sj_sort(exact, k, true_dmax)
+    over = JoinContext(tree_r, tree_s)
+    results_over, stats_over = sj_sort(over, k, true_dmax * 4)
+    assert [round(p.distance, 9) for p in results_over] == [
+        round(p.distance, 9) for p in results_exact
+    ]
+    assert (
+        stats_over.extra["sort_candidates"]
+        > stats_exact.extra["sort_candidates"]
+    )
+
+
+def test_within_join_empty_tree():
+    empty = RTree.bulk_load([])
+    other = RTree.bulk_load(random_rects(10, seed=303))
+    ctx = JoinContext(empty, other)
+    assert list(spatial_join_within(ctx, 100.0)) == []
+
+
+def test_within_join_root_pair_pruned():
+    """dmax below the root-pair distance short-circuits immediately."""
+    from repro.geometry.rect import Rect
+
+    items_r = random_rects(10, seed=304, span=10)
+    far = [
+        (Rect(rect.xmin + 1e6, rect.ymin + 1e6, rect.xmax + 1e6,
+              rect.ymax + 1e6), i)
+        for rect, i in random_rects(10, seed=305, span=10)
+    ]
+    tree_r = RTree.bulk_load(items_r, max_entries=4)
+    tree_s = RTree.bulk_load(far, max_entries=4)
+    ctx = JoinContext(tree_r, tree_s)
+    assert list(spatial_join_within(ctx, 10.0)) == []
+    assert ctx.instr.real_distance_computations == 1  # just the root pair

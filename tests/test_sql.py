@@ -1,0 +1,285 @@
+"""Tests for the SQL front-end: tokenizer, parser, planner, executor."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.geometry.distances import point_distance
+from repro.sql import Database, SqlError, parse
+from repro.sql.parser import ColumnRef, Literal, tokenize
+
+
+# ----------------------------------------------------------------------
+# Tokenizer
+# ----------------------------------------------------------------------
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("SELECT select SeLeCt")]
+        assert kinds == ["keyword"] * 3 + ["end"]
+
+    def test_strings_with_escaped_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.kind == "string"
+
+    def test_operators(self):
+        texts = [t.text for t in tokenize("= != <> < <= > >=")][:-1]
+        assert texts == ["=", "!=", "<>", "<", "<=", ">", ">="]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError, match="unexpected character"):
+            tokenize("SELECT @")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+BASE = ("SELECT h.name, r.name FROM hotel h, restaurant r "
+        "ORDER BY distance(h.location, r.location)")
+
+
+class TestParser:
+    def test_minimal_query(self):
+        q = parse(BASE)
+        assert q.stop_after is None
+        assert q.tables[0].name == "hotel" and q.tables[0].alias == "h"
+        assert q.order_left == ColumnRef("h", "location")
+
+    def test_stop_after(self):
+        q = parse(BASE + " STOP AFTER 25;")
+        assert q.stop_after == 25
+
+    def test_select_star(self):
+        q = parse("SELECT * FROM a x, b y ORDER BY distance(x.loc, y.loc)")
+        assert q.select_star
+
+    def test_select_distance(self):
+        q = parse("SELECT h.name, distance FROM a h, b r "
+                  "ORDER BY distance(h.loc, r.loc)")
+        assert q.select[-1] == "distance"
+
+    def test_alias_defaults_to_table_name(self):
+        q = parse("SELECT hotel.name FROM hotel, restaurant "
+                  "ORDER BY distance(hotel.loc, restaurant.loc)")
+        assert q.tables[0].alias == "hotel"
+
+    def test_where_conjunction(self):
+        q = parse("SELECT h.name FROM a h, b r WHERE h.stars >= 4 "
+                  "AND r.kind = 'thai' AND h.stars < r.rating "
+                  "ORDER BY distance(h.loc, r.loc)")
+        assert len(q.where) == 3
+        assert q.where[0].op == ">="
+        assert q.where[1].right == Literal("thai")
+
+    def test_neq_normalized(self):
+        q = parse("SELECT h.a FROM a h, b r WHERE h.a <> 3 "
+                  "ORDER BY distance(h.loc, r.loc)")
+        assert q.where[0].op == "!="
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM a h, b r ORDER BY distance(h.l, r.l)",
+            "SELECT h.x FROM a h ORDER BY distance(h.l, h.l)",   # one table
+            "SELECT h.x FROM a h, b r",                          # no order by
+            "SELECT h.x FROM a h, b r ORDER BY distance(h.l)",   # one arg
+            BASE + " STOP AFTER 0",
+            BASE + " STOP AFTER 2.5",
+            BASE + " garbage",
+            "SELECT h.x FROM a h, b h ORDER BY distance(h.l, h.l)",  # dup alias
+            "SELECT h.x FROM a h, b r WHERE 1 = 2 ORDER BY distance(h.l, r.l)",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SqlError):
+            parse(bad)
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(99)
+    hotels = [
+        {
+            "name": f"hotel{i}",
+            "stars": rng.randint(1, 5),
+            "location": (rng.uniform(0, 100), rng.uniform(0, 100)),
+        }
+        for i in range(120)
+    ]
+    restaurants = [
+        {
+            "name": f"rest{i}",
+            "cuisine": rng.choice(["thai", "pasta", "bbq"]),
+            "rating": rng.randint(1, 10),
+            "location": (rng.uniform(0, 100), rng.uniform(0, 100)),
+        }
+        for i in range(150)
+    ]
+    database = Database()
+    database.create_table("hotel", hotels)
+    database.create_table("restaurant", restaurants)
+    return database, hotels, restaurants
+
+
+def brute_pairs(hotels, restaurants):
+    out = []
+    for h, r in itertools.product(hotels, restaurants):
+        d = point_distance(*h["location"], *r["location"])
+        out.append((d, h, r))
+    out.sort(key=lambda t: t[0])
+    return out
+
+
+class TestExecutor:
+    def test_paper_query(self, db):
+        database, hotels, restaurants = db
+        result = database.query(
+            "SELECT h.name, r.name, distance FROM hotel h, restaurant r "
+            "ORDER BY distance(h.location, r.location) STOP AFTER 10"
+        )
+        assert len(result) == 10
+        expected = brute_pairs(hotels, restaurants)[:10]
+        for row, (d, h, r) in zip(result.rows, expected):
+            assert math.isclose(row["distance"], d, abs_tol=1e-9)
+        assert result.plan[0].startswith("AM-KDJ")
+        assert result.stats.real_distance_computations > 0
+
+    def test_results_ordered_by_distance(self, db):
+        database, *_ = db
+        result = database.query(
+            "SELECT distance FROM hotel h, restaurant r "
+            "ORDER BY distance(h.location, r.location) STOP AFTER 50"
+        )
+        distances = [row["distance"] for row in result.rows]
+        assert distances == sorted(distances)
+
+    def test_pushdown_filters_before_join(self, db):
+        database, hotels, restaurants = db
+        result = database.query(
+            "SELECT h.name, r.name, distance FROM hotel h, restaurant r "
+            "WHERE h.stars >= 4 AND r.cuisine = 'thai' "
+            "ORDER BY distance(h.location, r.location) STOP AFTER 5"
+        )
+        assert any("pushdown on hotel" in step for step in result.plan)
+        expected = [
+            (d, h, r)
+            for d, h, r in brute_pairs(hotels, restaurants)
+            if h["stars"] >= 4 and r["cuisine"] == "thai"
+        ][:5]
+        for row, (d, h, r) in zip(result.rows, expected):
+            assert row["h.name"] == h["name"]
+            assert row["r.name"] == r["name"]
+            assert math.isclose(row["distance"], d, abs_tol=1e-9)
+
+    def test_residual_predicate_pipelines_idj(self, db):
+        database, hotels, restaurants = db
+        result = database.query(
+            "SELECT h.name, r.name FROM hotel h, restaurant r "
+            "WHERE r.rating > h.stars "
+            "ORDER BY distance(h.location, r.location) STOP AFTER 7"
+        )
+        assert any("AM-IDJ" in step for step in result.plan)
+        assert len(result) == 7
+        expected = [
+            (d, h, r)
+            for d, h, r in brute_pairs(hotels, restaurants)
+            if r["rating"] > h["stars"]
+        ][:7]
+        got = [(row["h.name"], row["r.name"]) for row in result.rows]
+        assert got == [(h["name"], r["name"]) for _, h, r in expected]
+        assert result.pairs_scanned >= len(result)
+
+    def test_no_stop_after_exhausts(self, db):
+        database, hotels, restaurants = db
+        result = database.query(
+            "SELECT distance FROM hotel h, restaurant r "
+            "WHERE h.stars = 5 AND r.rating = 10 "
+            "ORDER BY distance(h.location, r.location)"
+        )
+        expected = [
+            d
+            for d, h, r in brute_pairs(hotels, restaurants)
+            if h["stars"] == 5 and r["rating"] == 10
+        ]
+        assert len(result) == len(expected)
+        for row, d in zip(result.rows, expected):
+            assert math.isclose(row["distance"], d, abs_tol=1e-9)
+
+    def test_select_star_prefixes_columns(self, db):
+        database, *_ = db
+        result = database.query(
+            "SELECT * FROM hotel h, restaurant r "
+            "ORDER BY distance(h.location, r.location) STOP AFTER 1"
+        )
+        row = result.rows[0]
+        assert "h.name" in row and "r.cuisine" in row and "distance" in row
+
+    def test_semantic_errors(self, db):
+        database, *_ = db
+        cases = [
+            # unknown table
+            "SELECT x.a FROM nope x, hotel h ORDER BY distance(x.l, h.location)",
+            # wrong order-by attribute
+            "SELECT h.name FROM hotel h, restaurant r "
+            "ORDER BY distance(h.name, r.location)",
+            # order-by must span both tables
+            "SELECT h.name FROM hotel h, restaurant r "
+            "ORDER BY distance(h.location, h.location)",
+            # unknown select column
+            "SELECT h.bogus FROM hotel h, restaurant r "
+            "ORDER BY distance(h.location, r.location)",
+            # unknown alias in where
+            "SELECT h.name FROM hotel h, restaurant r WHERE z.a = 1 "
+            "ORDER BY distance(h.location, r.location)",
+        ]
+        for text in cases:
+            with pytest.raises(SqlError):
+                database.query(text)
+
+    def test_string_comparison_types(self, db):
+        database, *_ = db
+        with pytest.raises(SqlError, match="cannot compare"):
+            database.query(
+                "SELECT h.name FROM hotel h, restaurant r "
+                "WHERE h.stars > 'abc' "
+                "ORDER BY distance(h.location, r.location) STOP AFTER 1"
+            )
+
+
+class TestCatalog:
+    def test_missing_location_rejected(self):
+        with pytest.raises(SqlError, match="lacks location"):
+            Database().create_table("t", [{"name": "x"}])
+
+    def test_rect_locations_accepted(self):
+        from repro.geometry.rect import Rect
+
+        database = Database()
+        database.create_table(
+            "zones", [{"name": "z", "location": Rect(0, 0, 5, 5)}]
+        )
+        database.create_table(
+            "pts", [{"name": "p", "location": (2.0, 2.0)}]
+        )
+        result = database.query(
+            "SELECT z.name, p.name, distance FROM zones z, pts p "
+            "ORDER BY distance(z.location, p.location) STOP AFTER 1"
+        )
+        assert result.rows[0]["distance"] == 0.0
+
+    def test_bad_location_value(self):
+        with pytest.raises(SqlError, match="neither a Rect"):
+            Database().create_table("t", [{"location": "nope"}])
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlError, match="unknown table"):
+            Database().table("ghost")

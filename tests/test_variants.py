@@ -1,0 +1,93 @@
+"""Tests for the epsilon join and all-nearest-neighbors variants."""
+
+import math
+
+import pytest
+
+from repro import RTree, all_nearest_neighbors, within_distance_join
+from repro.core.api import JoinConfig
+from repro.geometry.distances import min_distance
+
+from tests.conftest import brute_force_within, random_rects
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    items_r = random_rects(120, seed=201)
+    items_s = random_rects(90, seed=202)
+    return (
+        items_r,
+        items_s,
+        RTree.bulk_load(items_r, max_entries=8),
+        RTree.bulk_load(items_s, max_entries=8),
+    )
+
+
+class TestWithinDistanceJoin:
+    @pytest.mark.parametrize("dmax", [0.0, 15.0, 80.0])
+    def test_matches_brute_force(self, datasets, dmax):
+        items_r, items_s, tree_r, tree_s = datasets
+        result = within_distance_join(tree_r, tree_s, dmax)
+        got = {(p.ref_r, p.ref_s) for p in result.results}
+        assert got == brute_force_within(items_r, items_s, dmax)
+
+    def test_distance_order(self, datasets):
+        *_, tree_r, tree_s = datasets
+        result = within_distance_join(tree_r, tree_s, 40.0, order="distance")
+        distances = result.distances
+        assert distances == sorted(distances)
+
+    def test_negative_dmax_rejected(self, datasets):
+        *_, tree_r, tree_s = datasets
+        with pytest.raises(ValueError):
+            within_distance_join(tree_r, tree_s, -1.0)
+
+    def test_bad_order_rejected(self, datasets):
+        *_, tree_r, tree_s = datasets
+        with pytest.raises(ValueError):
+            within_distance_join(tree_r, tree_s, 1.0, order="fancy")
+
+    def test_stats_populated(self, datasets):
+        *_, tree_r, tree_s = datasets
+        stats = within_distance_join(tree_r, tree_s, 30.0).stats
+        assert stats.algorithm == "within-join"
+        assert stats.real_distance_computations > 0
+        assert stats.extra["dmax"] == 30.0
+
+
+class TestAllNearestNeighbors:
+    def test_matches_brute_force(self, datasets):
+        items_r, items_s, tree_r, tree_s = datasets
+        result = all_nearest_neighbors(tree_r, tree_s)
+        assert len(result) == len(items_r)
+        by_r = {p.ref_r: p for p in result.results}
+        for rect, oid in items_r:
+            best = min(min_distance(rect, s_rect) for s_rect, _ in items_s)
+            assert math.isclose(by_r[oid].distance, best, abs_tol=1e-9)
+
+    def test_result_pairs_are_actual_neighbors(self, datasets):
+        items_r, items_s, tree_r, tree_s = datasets
+        rect_s = dict((oid, rect) for rect, oid in items_s)
+        rect_r = dict((oid, rect) for rect, oid in items_r)
+        for pair in all_nearest_neighbors(tree_r, tree_s).results:
+            d = min_distance(rect_r[pair.ref_r], rect_s[pair.ref_s])
+            assert math.isclose(d, pair.distance, abs_tol=1e-9)
+
+    def test_ordered_by_r_id(self, datasets):
+        *_, tree_r, tree_s = datasets
+        refs = [p.ref_r for p in all_nearest_neighbors(tree_r, tree_s).results]
+        assert refs == sorted(refs)
+
+    def test_empty_sides(self):
+        empty = RTree.bulk_load([])
+        other = RTree.bulk_load(random_rects(5, seed=203))
+        assert all_nearest_neighbors(empty, other).results == []
+        assert all_nearest_neighbors(other, empty).results == []
+
+    def test_node_accesses_metered(self, datasets):
+        *_, tree_r, tree_s = datasets
+        stats = all_nearest_neighbors(
+            tree_r, tree_s, JoinConfig(buffer_memory=16 * 1024)
+        ).stats
+        assert stats.node_accesses > 0
+        assert stats.node_accesses_unbuffered >= stats.node_accesses

@@ -1,0 +1,139 @@
+"""Tests for the experiment drivers and table rendering."""
+
+import pytest
+
+from repro.rtree.tree import RTree
+from repro.workloads.experiments import (
+    ExperimentSetup,
+    experiment_fig10_kdj,
+    experiment_fig11_planesweep,
+    experiment_fig12_idj,
+    experiment_fig13_memory,
+    experiment_fig14_edmax,
+    experiment_fig15_stepwise,
+    experiment_table2_node_accesses,
+    scaled_ks,
+)
+from repro.workloads.tables import format_table
+
+from tests.conftest import random_rects
+
+
+@pytest.fixture(scope="module")
+def tiny_setup() -> ExperimentSetup:
+    return ExperimentSetup(
+        name="tiny",
+        tree_r=RTree.bulk_load(random_rects(150, seed=41), max_entries=8),
+        tree_s=RTree.bulk_load(random_rects(100, seed=42), max_entries=8),
+    )
+
+
+def test_scaled_ks_monotone():
+    ks = scaled_ks((10, 100, 1000))
+    assert ks == sorted(set(ks))
+
+
+def test_setup_dmax_cache(tiny_setup):
+    first = tiny_setup.true_dmax(20)
+    assert tiny_setup.true_dmax(20) == first
+    assert tiny_setup.true_dmax(50) >= first
+
+
+def test_fig10_rows(tiny_setup):
+    rows = experiment_fig10_kdj(tiny_setup, ks=[10, 50])
+    assert len(rows) == 8
+    algs = {row["algorithm"] for row in rows}
+    assert algs == {"hs-kdj", "bkdj", "amkdj", "sj-sort"}
+    assert all(row["dist_comps"] > 0 for row in rows)
+    assert all(row["response_time_s"] > 0 for row in rows)
+
+
+def test_table2_rows(tiny_setup):
+    rows = experiment_table2_node_accesses(tiny_setup, ks=[20])
+    assert len(rows) == 1
+    assert "(" in rows[0]["hs"]  # buffered (unbuffered) format
+
+
+def test_fig11_rows(tiny_setup):
+    rows = experiment_fig11_planesweep(tiny_setup, ks=[30])
+    row = rows[0]
+    assert row["total_comps_optimized"] <= row["total_comps_fixed"]
+    assert 0 <= row["improvement_pct"] <= 100
+
+
+def test_fig12_rows(tiny_setup):
+    rows = experiment_fig12_idj(tiny_setup, ks=[25])
+    assert {row["algorithm"] for row in rows} == {"hs-idj", "am-idj"}
+    assert all(row["results"] == 25 for row in rows)
+
+
+def test_fig13_rows(tiny_setup):
+    rows = experiment_fig13_memory(
+        tiny_setup, memory_kb=(4, 64), k=100, algorithms=("bkdj",)
+    )
+    small, big = rows[0], rows[1]
+    assert small["memory_kb"] == 4 and big["memory_kb"] == 64
+    assert big["response_time_s"] <= small["response_time_s"]
+
+
+def test_fig14_rows(tiny_setup):
+    rows = experiment_fig14_edmax(tiny_setup, factors=(0.5, 2.0), k=80)
+    # two factors + the Eq.3 estimate row + the B-KDJ reference row
+    assert len(rows) == 4
+    assert rows[-1]["algorithm"] == "bkdj"
+    underestimate = rows[0]
+    assert underestimate["compensation"] == 1
+
+
+def test_fig15_rows(tiny_setup):
+    rows = experiment_fig15_stepwise(tiny_setup, batches=3, total=60)
+    series = {row["series"] for row in rows}
+    assert series == {
+        "hs-idj",
+        "am-idj (estimated)",
+        "am-idj (real dmax)",
+        "sj-sort (restarted)",
+    }
+    for name in series:
+        cumulative = [
+            row["cumulative_response_s"] for row in rows if row["series"] == name
+        ]
+        assert cumulative == sorted(cumulative)
+        assert len(cumulative) == 3
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_alignment_and_columns(self):
+        text = format_table(
+            [{"a": 1, "b": 2.5}, {"a": 1000000, "b": 0.001}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "1,000,000" in text
+
+    def test_explicit_columns_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestFormatValues:
+    def test_bool_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text and "no" in text
+
+    def test_zero_and_small_floats(self):
+        text = format_table([{"v": 0.0}, {"v": 0.00123}, {"v": 12.345}])
+        assert "0" in text and "0.0012" in text and "12.3" in text
+
+    def test_negative_numbers(self):
+        text = format_table([{"v": -1234567}, {"v": -0.5}])
+        assert "-1,234,567" in text and "-0.5000" in text
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]

@@ -1,0 +1,114 @@
+"""Parallel partitioned engine — scaling against the sequential AM-KDJ.
+
+A 100k-pair workload (20,000 x 20,000 uniform points, k = 100,000) run
+sequentially and with the partitioned engine at 2/4/8 workers in every
+executor mode.  The partitioned engine must return the same result set
+and, at 4 workers, beat the sequential wall clock by at least 1.5x in
+its best mode.
+
+On a single-core host the speedup comes from work reduction, not
+concurrency: the shared global ``qDmax`` turns each partition into a
+bounded range sweep that skips the sequential engine's priority-queue
+traffic entirely (per-op heap costs, splits and swap-ins at large k).
+Process/thread rows additionally measure executor overhead, which true
+multi-core hosts recoup.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import JoinConfig, Rect, RTree, k_distance_join
+
+N_POINTS = 20_000
+K = 100_000
+WORKERS = (2, 4, 8)
+MODES = ("serial", "thread", "process")
+
+COLUMNS = [
+    "mode",
+    "workers",
+    "wall_time_s",
+    "speedup",
+    "dist_comps",
+    "queue_insertions",
+    "stages",
+    "identical",
+]
+
+
+def _point_trees() -> tuple[RTree, RTree]:
+    rng = random.Random(1997)
+
+    def points(n):
+        return [
+            (Rect.from_point(rng.uniform(0, 1000), rng.uniform(0, 1000)), i)
+            for i in range(n)
+        ]
+
+    return RTree.bulk_load(points(N_POINTS)), RTree.bulk_load(points(N_POINTS))
+
+
+def run_scaling() -> list[dict]:
+    tree_r, tree_s = _point_trees()
+    started = time.perf_counter()
+    sequential = k_distance_join(tree_r, tree_s, k=K)
+    seq_wall = time.perf_counter() - started
+    seq_set = {(p.distance, p.ref_r, p.ref_s) for p in sequential.results}
+    rows = [
+        {
+            "mode": "sequential",
+            "workers": 1,
+            "wall_time_s": round(seq_wall, 3),
+            "speedup": 1.0,
+            "dist_comps": sequential.stats.real_distance_computations,
+            "queue_insertions": sequential.stats.queue_insertions,
+            "stages": 1,
+            "identical": True,
+        }
+    ]
+    for mode in MODES:
+        for workers in WORKERS:
+            config = JoinConfig(parallel=workers, parallel_mode=mode)
+            started = time.perf_counter()
+            result = k_distance_join(tree_r, tree_s, k=K, config=config)
+            wall = time.perf_counter() - started
+            rows.append(
+                {
+                    "mode": mode,
+                    "workers": workers,
+                    "wall_time_s": round(wall, 3),
+                    "speedup": round(seq_wall / wall, 2),
+                    "dist_comps": result.stats.real_distance_computations,
+                    "queue_insertions": result.stats.queue_insertions,
+                    "stages": result.stats.extra["parallel_stages"],
+                    "identical": {
+                        (p.distance, p.ref_r, p.ref_s) for p in result.results
+                    }
+                    == seq_set,
+                }
+            )
+    return rows
+
+
+def test_parallel_scaling(benchmark, report):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    report(
+        "parallel_scaling",
+        rows,
+        f"Parallel partitioned join: {N_POINTS:,} x {N_POINTS:,} points, "
+        f"k={K:,}, sequential vs 2/4/8 workers",
+        columns=COLUMNS,
+        charts=[
+            dict(x="workers", y="wall_time_s", series="mode",
+                 title="wall time vs workers"),
+        ],
+    )
+    assert all(row["identical"] for row in rows), "result sets diverged"
+    best_at_4 = max(
+        row["speedup"] for row in rows if row["workers"] == 4
+    )
+    assert best_at_4 > 1.5, (
+        f"best 4-worker speedup {best_at_4}x, need > 1.5x"
+    )

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Emit the parallel-scaling benchmark as machine-readable JSON.
+
+CI runs this after the benchmark suite to produce ``BENCH_parallel.json``
+at the repository root: one record per (mode, workers) cell with wall
+time, distance computations and the speedup over the sequential AM-KDJ
+run, plus enough metadata (host CPU count, workload shape) to compare
+runs across machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [output.json]
+
+The workload is the same one ``bench_parallel_scaling.py`` asserts on:
+20,000 x 20,000 uniform points, k = 100,000.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from bench_parallel_scaling import K, N_POINTS, run_scaling  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+
+def main(argv: list[str]) -> int:
+    output = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    rows = run_scaling()
+    sequential = next(r for r in rows if r["mode"] == "sequential")
+    payload = {
+        "benchmark": "parallel_scaling",
+        "workload": {
+            "n_r": N_POINTS,
+            "n_s": N_POINTS,
+            "k": K,
+            "distribution": "uniform-points",
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "sequential_wall_time_s": sequential["wall_time_s"],
+        "rows": rows,
+        "best_speedup_at_4_workers": max(
+            r["speedup"] for r in rows if r["workers"] == 4
+        ),
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    for row in rows:
+        print(
+            f"  {row['mode']:>10s} w={row['workers']}: "
+            f"{row['wall_time_s']:7.3f}s  {row['speedup']:5.2f}x  "
+            f"identical={row['identical']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

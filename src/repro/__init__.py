@@ -30,6 +30,11 @@ from repro.core.api import (
 )
 from repro.core.pairs import ResultPair
 from repro.core.variants import all_nearest_neighbors, within_distance_join
+from repro.parallel.engine import (
+    ParallelIncrementalJoin,
+    parallel_incremental_join,
+    parallel_kdj,
+)
 from repro.core.stats import JoinStats
 from repro.geometry.rect import Rect
 from repro.rtree.tree import RTree
@@ -44,6 +49,9 @@ __all__ = [
     "JoinResult",
     "JoinRunner",
     "JoinStats",
+    "ParallelIncrementalJoin",
+    "parallel_incremental_join",
+    "parallel_kdj",
     "Rect",
     "ResultPair",
     "RTree",

@@ -52,6 +52,13 @@ class JoinConfig:
     Attributes mirror the paper's experimental knobs: queue memory and
     R-tree buffer sizes (512 KB defaults), the plane-sweep optimizations,
     the eDmax override for Figure 14, and the cost model.
+
+    ``parallel`` switches k-distance joins to the partitioned parallel
+    engine (:mod:`repro.parallel`) with that many workers;
+    ``parallel_mode`` picks the executor (``"process"`` for CPU-bound
+    sweeps, ``"thread"`` for simulated-I/O runs, ``"serial"`` for
+    deterministic in-process debugging) and ``parallel_partitions``
+    overrides the number of space tiles (default: two per worker).
     """
 
     queue_memory: int = DEFAULT_QUEUE_MEMORY
@@ -69,6 +76,9 @@ class JoinConfig:
     spill_dir: str | None = None
     initial_k: int = 1000
     edmax_schedule: tuple[float, ...] | None = None
+    parallel: int = 1
+    parallel_mode: str = "process"
+    parallel_partitions: int | None = None
 
     def engine_options(self) -> EngineOptions:
         return EngineOptions(
@@ -140,23 +150,37 @@ class JoinRunner:
             raise ValueError(
                 f"unknown KDJ algorithm {algorithm!r}; pick one of {KDJ_ALGORITHMS}"
             )
+        if self.config.parallel > 1:
+            from repro.parallel.engine import parallel_kdj
+
+            return parallel_kdj(
+                self.tree_r,
+                self.tree_s,
+                k,
+                config=self.config,
+                algorithm=algorithm,
+                dmax=dmax,
+            )
         ctx = self._context()
         started = time.perf_counter()
-        if algorithm == "hs":
-            results, stats = hs_mod.hs_kdj(ctx, k)
-        elif algorithm == "bkdj":
-            results, stats = bkdj_mod.bkdj(ctx, k)
-        elif algorithm == "amkdj":
-            results, stats = amkdj_mod.amkdj(
-                ctx, k, edmax=self.config.edmax, adaptive=self.config.adaptive_edmax
-            )
-        elif algorithm == "nlj":
-            from repro.core import nested_loop
+        try:
+            if algorithm == "hs":
+                results, stats = hs_mod.hs_kdj(ctx, k)
+            elif algorithm == "bkdj":
+                results, stats = bkdj_mod.bkdj(ctx, k)
+            elif algorithm == "amkdj":
+                results, stats = amkdj_mod.amkdj(
+                    ctx, k, edmax=self.config.edmax, adaptive=self.config.adaptive_edmax
+                )
+            elif algorithm == "nlj":
+                from repro.core import nested_loop
 
-            results, stats = nested_loop.nested_loop_kdj(ctx, k)
-        else:
-            cutoff = dmax if dmax is not None else self.true_dmax(k)
-            results, stats = sjsort_mod.sj_sort(ctx, k, cutoff)
+                results, stats = nested_loop.nested_loop_kdj(ctx, k)
+            else:
+                cutoff = dmax if dmax is not None else self.true_dmax(k)
+                results, stats = sjsort_mod.sj_sort(ctx, k, cutoff)
+        finally:
+            ctx.close()
         stats.wall_time = time.perf_counter() - started
         return JoinResult(results, stats)
 
@@ -191,8 +215,8 @@ class JoinRunner:
 
     def true_dmax(self, k: int) -> float:
         """Exact k-th pair distance, via an uncharged oracle run (B-KDJ)."""
-        ctx = self._context()
-        results, _ = bkdj_mod.bkdj(ctx, k)
+        with self._context() as ctx:
+            results, _ = bkdj_mod.bkdj(ctx, k)
         if not results:
             return 0.0
         return results[-1].distance
@@ -214,11 +238,31 @@ class IncrementalJoin:
         self._state = state
         self._produced = 0
         self._started = time.perf_counter()
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the run's resources (spill files); idempotent.
+
+        Called automatically when the stream is exhausted; callers that
+        abandon a stream early should call it (or use the stream as a
+        context manager) so real-spill queues leave no files behind.
+        """
+        if not self._closed:
+            self._closed = True
+            self._generator.close()
+            self._ctx.close()
+
+    def __enter__(self) -> "IncrementalJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __iter__(self) -> Iterator[ResultPair]:
         for pair in self._generator:
             self._produced += 1
             yield pair
+        self.close()
 
     def next_batch(self, n: int) -> list[ResultPair]:
         """Pull up to ``n`` further results (fewer only at exhaustion)."""
@@ -228,6 +272,8 @@ class IncrementalJoin:
             if len(batch) == n:
                 break
         self._produced += len(batch)
+        if len(batch) < n:
+            self.close()
         return batch
 
     def stats(self) -> JoinStats:
@@ -253,8 +299,15 @@ def k_distance_join(
     algorithm: str = "amkdj",
     config: JoinConfig | None = None,
     dmax: float | None = None,
+    parallel: int | None = None,
 ) -> JoinResult:
-    """One-shot k nearest pairs of ``tree_r`` x ``tree_s``."""
+    """One-shot k nearest pairs of ``tree_r`` x ``tree_s``.
+
+    ``parallel=N`` (N > 1) runs the partitioned parallel engine with N
+    workers; it returns the same result set as the sequential run.
+    """
+    if parallel is not None:
+        config = replace(config or JoinConfig(), parallel=parallel)
     return JoinRunner(tree_r, tree_s, config).kdj(k, algorithm, dmax=dmax)
 
 
@@ -291,6 +344,7 @@ def k_self_distance_join(
             results.append(pair)
             if len(results) == k:
                 break
+    stream.close()
     stats = stream.stats()
     stats.algorithm = f"self-{stats.algorithm}"
     stats.k = k

@@ -94,7 +94,24 @@ class JoinContext:
         self.main_queue = MainQueue(
             self.disk, queue_memory, rho=queue_rho, spill_dir=spill_dir
         )
+        self.instr.attach_queue(self.main_queue)
         self.options = options or EngineOptions()
+
+    def close(self) -> None:
+        """Engine teardown: release the queue's on-disk spill files.
+
+        Idempotent; stats snapshots taken earlier stay valid.  Every
+        public entry point (``JoinRunner``, the join variants, exhausted
+        or explicitly closed incremental streams) calls this so abandoned
+        runs never leak ``seg-*.pile`` files in ``spill_dir``.
+        """
+        self.main_queue.close()
+
+    def __enter__(self) -> "JoinContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Dataset model parameters
@@ -164,13 +181,13 @@ class JoinContext:
     # ------------------------------------------------------------------
 
     def make_stats(self, algorithm: str, k: int, results: int) -> JoinStats:
-        """Snapshot the run's counters into a stats record."""
+        """Snapshot the run's counters into a stats record.
+
+        All counter propagation — including the main queue's — lives in
+        :meth:`Instruments.fill`, so every engine gets the same fields.
+        """
         stats = JoinStats(algorithm=algorithm, k=k, results=results)
         self.instr.fill(stats)
-        stats.queue_insertions = self.main_queue.stats.insertions
-        stats.queue_peak_size = self.main_queue.stats.peak_size
-        stats.queue_splits = self.main_queue.stats.splits
-        stats.queue_swap_ins = self.main_queue.stats.swap_ins
         return stats
 
 

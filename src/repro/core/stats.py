@@ -46,15 +46,63 @@ class JoinStats:
     queue_peak_size: int = 0
     queue_splits: int = 0
     queue_swap_ins: int = 0
+    queue_spilled_entries: int = 0
     compensation_stages: int = 0
     compensation_peak: int = 0
     edmax_initial: float = 0.0
     extra: dict[str, float] = field(default_factory=dict)
 
+    #: Counter fields summed by :meth:`merge` (work adds up across
+    #: workers); the remaining numeric fields are peaks and are maxed.
+    _SUMMED = (
+        "results",
+        "real_distance_computations",
+        "axis_distance_computations",
+        "queue_insertions",
+        "distance_queue_insertions",
+        "node_accesses",
+        "node_accesses_unbuffered",
+        "response_time",
+        "io_time",
+        "cpu_time",
+        "queue_splits",
+        "queue_swap_ins",
+        "queue_spilled_entries",
+        "compensation_stages",
+    )
+    _MAXED = (
+        "wall_time",
+        "queue_peak_size",
+        "compensation_peak",
+        "edmax_initial",
+    )
+
     @property
     def total_distance_computations(self) -> int:
         """Real plus axis distance computations (Figure 11's y-axis)."""
         return self.real_distance_computations + self.axis_distance_computations
+
+    def merge(self, other: "JoinStats") -> None:
+        """Fold another run's metrics into this record, in place.
+
+        Counters (distance computations, queue traffic, node accesses,
+        modeled times) are summed — total work adds up across workers —
+        while peaks (queue peak size, compensation peak, wall time) are
+        maxed, since concurrent workers' peaks do not stack.  Numeric
+        ``extra`` values are summed key-wise; non-numeric ones (labels
+        like a worker mode) take the other record's value.  ``algorithm``
+        and ``k`` keep this record's values.
+        """
+        for name in self._SUMMED:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in self._MAXED:
+            setattr(self, name, max(getattr(self, name), getattr(other, name)))
+        for key, value in other.extra.items():
+            mine = self.extra.get(key, 0.0)
+            if isinstance(value, (int, float)) and isinstance(mine, (int, float)):
+                self.extra[key] = mine + value
+            else:
+                self.extra[key] = value
 
     def as_row(self) -> dict[str, float]:
         """Flat dictionary for table printing and regression baselines."""
@@ -92,6 +140,17 @@ class Instruments:
         self.accessor_s = accessor_s
         self.real_distance_computations = 0
         self.axis_distance_computations = 0
+        self.main_queue = None  # attached by JoinContext once built
+
+    def attach_queue(self, queue) -> None:
+        """Register the main queue whose counters :meth:`fill` snapshots.
+
+        Queue-stat propagation is deliberately routed through this single
+        helper: every engine builds its stats via ``ctx.make_stats`` →
+        ``fill``, so the Figure 13 queue metrics (splits, swap-ins, peak
+        size) cannot silently read zero for one engine but not another.
+        """
+        self.main_queue = queue
 
     # -- distances ------------------------------------------------------
 
@@ -137,3 +196,10 @@ class Instruments:
         stats.response_time = self.disk.clock
         stats.io_time = self.disk.io_time
         stats.cpu_time = self.disk.cpu_time
+        if self.main_queue is not None:
+            queue_stats = self.main_queue.stats
+            stats.queue_insertions = queue_stats.insertions
+            stats.queue_peak_size = queue_stats.peak_size
+            stats.queue_splits = queue_stats.splits
+            stats.queue_swap_ins = queue_stats.swap_ins
+            stats.queue_spilled_entries = queue_stats.spilled_entries

@@ -51,7 +51,10 @@ def within_distance_join(
         options=cfg.engine_options(),
     )
     started = time.perf_counter()
-    results = list(spatial_join_within(ctx, dmax))
+    try:
+        results = list(spatial_join_within(ctx, dmax))
+    finally:
+        ctx.close()
     if order == "distance":
         results.sort()
     stats = ctx.make_stats("within-join", 0, len(results))
@@ -86,9 +89,12 @@ def all_nearest_neighbors(
     )
     started = time.perf_counter()
     results: list[ResultPair] = []
-    if tree_r.size and tree_s.size:
-        for entry in tree_r.iter_leaf_entries():
-            results.append(_nearest_in(ctx, entry.rect, entry.ref))
+    try:
+        if tree_r.size and tree_s.size:
+            for entry in tree_r.iter_leaf_entries():
+                results.append(_nearest_in(ctx, entry.rect, entry.ref))
+    finally:
+        ctx.close()
     results.sort(key=lambda pair: pair.ref_r)
     stats = ctx.make_stats("ann-join", 0, len(results))
     stats.wall_time = time.perf_counter() - started

@@ -1,0 +1,36 @@
+"""Parallel partitioned distance-join processing.
+
+The sequential engines in :mod:`repro.core` process one candidate space
+with one main queue.  This package tiles the data space into disjoint
+partitions derived from the two R-trees' top levels, runs an independent
+join worker per partition (process pool for CPU-bound sweeps, thread
+pool for simulated-I/O runs, or inline for deterministic debugging),
+shares the global pruning bound ``qDmax`` across workers, and merges the
+per-partition result streams through a k-way heap.
+
+Entry points:
+
+- :func:`repro.parallel.engine.parallel_kdj` — partitioned k-distance
+  join, also reachable through ``JoinConfig(parallel=N)`` /
+  ``k_distance_join(..., parallel=N)``;
+- :class:`repro.parallel.engine.ParallelIncrementalJoin` — staged
+  incremental stream over the same machinery.
+
+See ``docs/internals.md`` for the partitioning scheme and the
+boundary-strip correctness argument.
+"""
+
+from repro.parallel.engine import (
+    ParallelIncrementalJoin,
+    parallel_incremental_join,
+    parallel_kdj,
+)
+from repro.parallel.partition import Partition, build_partitions
+
+__all__ = [
+    "Partition",
+    "ParallelIncrementalJoin",
+    "build_partitions",
+    "parallel_incremental_join",
+    "parallel_kdj",
+]

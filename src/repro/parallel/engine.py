@@ -1,0 +1,471 @@
+"""The parallel partitioned distance-join engine.
+
+Pipeline of one :func:`parallel_kdj` call:
+
+1. **Partition** — vertical strips from the trees' top levels
+   (:mod:`repro.parallel.partition`); every R object lands in exactly
+   one strip, S objects are replicated into ``delta``-grown boundary
+   strips so no qualifying pair can be lost.
+2. **Execute** — one independent join worker per partition.  Each worker
+   rebuilds partition-local R-trees and runs a sequential engine on its
+   own simulated environment.  For the adaptive algorithms the worker is
+   a *bounded sweep*: a within-distance join at the worker's cap plus a
+   local sort — the shared bound turns per-partition top-k into a range
+   join, the paper's own SJ-within-Dmax observation with the a-priori
+   cutoff replaced by the Equation (3) estimate.  The exact baselines
+   run a local top-k engine instead.  Workers run on a process pool
+   (CPU-bound sweeps), a thread pool (simulated-I/O runs), or inline
+   (``"serial"``, deterministic debugging).
+3. **Share the bound** — the parent feeds every confirmed pair distance
+   into a k-bounded :class:`~repro.parallel.merge.GlobalBound`; its
+   cutoff (the global ``qDmax``) caps later-submitted workers.  Process
+   workers get a frozen snapshot at submission, thread/serial workers
+   re-read it live between pulls.
+4. **Merge & verify** — per-partition runs are k-way heap-merged; the
+   answer is accepted only if the merged k-th distance fits under every
+   worker's cap (or every partition ran dry).  Otherwise the boundary
+   strip ``delta`` doubles — at least up to the merged k-th distance —
+   and the sweep re-runs.  The stage loop mirrors the paper's adaptive
+   eDmax compensation: estimate optimistically, verify, widen only on
+   actual failure.
+
+Exactness: R objects are partitioned (never replicated), so a pair is
+produced by exactly one worker and the merge needs no deduplication.
+The union of per-partition top-k lists always contains a global top-k
+(selection lemma); the only completeness risk is the distance cap, which
+is precisely what step 4 verifies.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import multiprocessing
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.pairs import ResultPair
+from repro.core.stats import JoinStats
+from repro.core import estimation
+from repro.geometry.rect import Rect
+from repro.parallel.merge import GlobalBound, merge_topk, pair_key
+from repro.parallel.partition import (
+    Partition,
+    RawItem,
+    assign_s_items,
+    build_partitions,
+    gather_items,
+    tile_boundaries,
+)
+from repro.rtree.tree import RTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.api import JoinConfig, JoinResult
+
+#: Initial boundary-strip width: the Equation (3) eDmax estimate times
+#: this safety factor (the estimate is an expectation; a modest margin
+#: avoids a second stage on typical uniform data).
+STRIP_SAFETY = 1.5
+
+#: Below this many R objects the partitioned engine falls back to the
+#: sequential run — tiling overhead would dominate.
+MIN_PARALLEL_OBJECTS = 64
+
+#: Algorithms whose partition workers run the adaptive bounded sweep —
+#: a within-distance join at the worker's cap followed by a local sort.
+#: The shared bound turns the per-partition top-k into a range join, the
+#: paper's own SJ-within-Dmax insight (Section 5.4) with the a-priori
+#: cutoff replaced by the Equation (3) estimate plus adaptive stage
+#: verification.  The exact baselines run a local top-k engine instead.
+_SWEEP_ALGORITHMS = frozenset({"amkdj", "amidj"})
+
+
+# ----------------------------------------------------------------------
+# Partition worker (module level so process pools can pickle it)
+# ----------------------------------------------------------------------
+
+
+def _run_partition(
+    task: dict[str, Any], live_bound: GlobalBound | None = None
+) -> tuple[list[ResultPair], float, bool, JoinStats]:
+    """Join one partition; returns (results, cap_used, exhausted, stats).
+
+    ``results`` are sorted by :func:`pair_key` and contain every
+    partition pair with distance ``<= cap_used`` (``exhausted`` means
+    the partition produced *all* its pairs — nothing was withheld).  A
+    worker that stops at its k-th result reports ``cap_used = inf``:
+    withholding pairs beyond the local top-k is always safe because a
+    global top-k never needs more than k pairs from one partition.
+    """
+    from repro.core.api import JoinConfig, JoinRunner  # local: avoid cycle
+
+    def cap_now() -> float:
+        cap = task["cap"]
+        if live_bound is not None:
+            cap = min(cap, live_bound.cutoff)
+        return cap
+
+    tree_r = RTree.bulk_load(
+        [(Rect(x0, y0, x1, y1), ref) for x0, y0, x1, y1, ref in task["r_items"]],
+        page_size=task["page_size"],
+        max_entries=task["max_entries"],
+    )
+    tree_s = RTree.bulk_load(
+        [(Rect(x0, y0, x1, y1), ref) for x0, y0, x1, y1, ref in task["s_items"]],
+        page_size=task["page_size"],
+        max_entries=task["max_entries"],
+    )
+    config: JoinConfig = task["config"]
+    k: int = task["k"]
+    algorithm: str = task["algorithm"]
+    runner = JoinRunner(tree_r, tree_s, config)
+
+    if algorithm in _SWEEP_ALGORITHMS:
+        from repro.core.variants import within_distance_join
+
+        cap = cap_now()
+        joined = within_distance_join(tree_r, tree_s, cap, config)
+        results = sorted(joined.results, key=pair_key)
+        if len(results) > k:
+            # Keep the local top-k plus its full tie block: withholding
+            # deeper pairs is safe (a global top-k never needs more than
+            # k pairs from one partition) and keeping the ties makes the
+            # merged prefix independent of partition boundaries.
+            kth = results[k - 1].distance
+            cut = k
+            while cut < len(results) and results[cut].distance == kth:
+                cut += 1
+            del results[cut:]
+        cap_used = cap
+        exhausted = False
+        stats = joined.stats
+        stats.algorithm = "parallel-sweep"
+    else:
+        joined = runner.kdj(k, algorithm, dmax=task["dmax"])
+        cap = cap_now()
+        results = [pair for pair in joined.results if pair.distance <= cap]
+        dropped = len(joined.results) - len(results)
+        exhausted = len(joined.results) < k and dropped == 0
+        cap_used = cap if (dropped or algorithm == "sjsort") else math.inf
+        stats = joined.stats
+
+    results.sort(key=pair_key)
+    stats.results = len(results)
+    return results, cap_used, exhausted, stats
+
+
+def _make_task(
+    partition: Partition,
+    s_items: list[RawItem],
+    k: int,
+    cap: float,
+    algorithm: str,
+    config: "JoinConfig",
+    dmax: float | None,
+    page_size: int,
+    max_entries: int,
+) -> dict[str, Any]:
+    return {
+        "index": partition.index,
+        "r_items": partition.r_items,
+        "s_items": s_items,
+        "k": k,
+        "cap": cap,
+        "algorithm": algorithm,
+        "config": config,
+        "dmax": dmax,
+        "page_size": page_size,
+        "max_entries": max_entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# Dispatch strategies
+# ----------------------------------------------------------------------
+
+
+def _dispatch_serial(
+    tasks: list[dict[str, Any]], bound: GlobalBound, delta: float, workers: int
+) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats]]:
+    for task in tasks:
+        task["cap"] = min(task["cap"], delta)
+        yield _run_partition(task, live_bound=bound)
+
+
+def _dispatch_pool(
+    tasks: list[dict[str, Any]],
+    bound: GlobalBound,
+    delta: float,
+    workers: int,
+    mode: str,
+) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats]]:
+    """Wave submission: at most ``workers`` in flight; each new
+    submission carries the freshest bound snapshot as its cap."""
+    if mode == "thread":
+        executor: concurrent.futures.Executor = (
+            concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        )
+        submit = lambda task: executor.submit(_run_partition, task, bound)
+    else:
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("fork")
+        )
+        submit = lambda task: executor.submit(_run_partition, task)
+    try:
+        queue = list(reversed(tasks))
+        pending: set[concurrent.futures.Future] = set()
+        while queue or pending:
+            while queue and len(pending) < workers:
+                task = queue.pop()
+                task["cap"] = min(delta, bound.cutoff)
+                pending.add(submit(task))
+            done, pending = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                outcome = future.result()
+                bound.offer(pair.distance for pair in outcome[0])
+                yield outcome
+    finally:
+        executor.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+def parallel_kdj(
+    tree_r: RTree,
+    tree_s: RTree,
+    k: int,
+    config: "JoinConfig | None" = None,
+    algorithm: str = "amkdj",
+    dmax: float | None = None,
+) -> "JoinResult":
+    """Partitioned parallel k-distance join.
+
+    Drop-in replacement for the sequential ``JoinRunner.kdj`` run — the
+    result set is identical; stats are the element-wise aggregate of the
+    per-worker runs (counters summed, peaks maxed) plus scheduling
+    details under ``stats.extra``.
+    """
+    from repro.core.api import JoinConfig, JoinResult, JoinRunner
+
+    config = config or JoinConfig()
+    if k <= 0:
+        raise ValueError("k must be positive")
+    workers = max(1, config.parallel)
+    started = time.perf_counter()
+
+    if tree_r.size == 0 or tree_s.size == 0:
+        stats = JoinStats(algorithm=f"parallel-{algorithm}", k=k, results=0)
+        stats.wall_time = time.perf_counter() - started
+        return JoinResult([], stats)
+
+    sequential_config = replace(config, parallel=1)
+    boundaries = tile_boundaries(
+        tree_r, tree_s, config.parallel_partitions or 2 * workers
+    )
+    partitions = build_partitions(tree_r, boundaries)
+    if (
+        workers == 1
+        or len(partitions) < 2
+        or min(tree_r.size, tree_s.size) < MIN_PARALLEL_OBJECTS
+    ):
+        result = JoinRunner(tree_r, tree_s, sequential_config).kdj(
+            k, algorithm, dmax=dmax
+        )
+        result.stats.extra["parallel_fallback"] = True
+        return result
+
+    s_items = gather_items(tree_s)
+    space = tree_r.bounds().union(tree_s.bounds())
+    delta_max = math.hypot(space.width, space.height)
+    rho = estimation.rho_for_datasets(
+        tree_r.bounds(), tree_s.bounds(), tree_r.size, tree_s.size
+    )
+    delta = min(delta_max, estimation.initial_edmax(k, rho) * STRIP_SAFETY)
+    if delta <= 0.0:
+        delta = delta_max
+
+    total = JoinStats(algorithm=f"parallel-{algorithm}", k=k)
+    mode = config.parallel_mode
+    if mode not in ("process", "thread", "serial"):
+        raise ValueError(
+            f"unknown parallel_mode {mode!r}; pick 'process', 'thread' or 'serial'"
+        )
+    final: list[ResultPair] = []
+    stages = 0
+    while True:
+        stages += 1
+        # Fresh bound per stage: within one stage every pair is offered
+        # exactly once (R objects are never replicated), which keeps the
+        # cutoff a true upper bound on the k-th distance.  Re-running
+        # partitions in a retry stage would offer the same distances
+        # again and deflate a carried-over cutoff below the k-th.
+        bound = GlobalBound(k)
+        assigned = assign_s_items(partitions, s_items, delta)
+        tasks = [
+            _make_task(
+                partition,
+                assigned[partition.index],
+                k,
+                delta,
+                algorithm,
+                sequential_config,
+                dmax,
+                tree_r.page_size,
+                tree_r.max_entries,
+            )
+            for partition in partitions
+        ]
+        runs: list[list[ResultPair]] = []
+        caps: list[float] = []
+        all_exhausted = True
+        if mode == "serial":
+            outcomes = _dispatch_serial(tasks, bound, delta, workers)
+        else:
+            outcomes = _dispatch_pool(tasks, bound, delta, workers, mode)
+        for results, cap_used, exhausted, stats in outcomes:
+            if mode == "serial":
+                bound.offer(pair.distance for pair in results[:k])
+            runs.append(results)
+            caps.append(cap_used)
+            all_exhausted = all_exhausted and exhausted
+            total.merge(stats)
+        final = merge_topk(runs, k)
+        # A worker's cap bounds what it computed; the strip width bounds
+        # what it even *saw* (S replication stops at delta).  Both limit
+        # how far the merged answer is known to be complete — except
+        # when delta already covers the whole space, at which point
+        # replication is total and exhausted workers prove completeness.
+        replication_complete = delta >= delta_max
+        min_cap = min(
+            [math.inf if replication_complete else delta, *caps]
+        )
+        if (all_exhausted and replication_complete) or (
+            len(final) == k and final[-1].distance <= min_cap
+        ):
+            break
+        if replication_complete:
+            # Full replication and still fewer than k pairs under the
+            # cap: the cap can only be finite once k real distances were
+            # seen, so fewer than k pairs exist globally — the sweep at
+            # the space diameter already enumerated all of them.
+            break
+        # The merged k-th distance (when known) is a lower bound on the
+        # strip width that can succeed; never grow by less than 2x.
+        needed = final[-1].distance if len(final) == k else 0.0
+        delta = min(delta_max, max(delta * 2.0, needed))
+
+    total.results = len(final)
+    total.wall_time = time.perf_counter() - started
+    total.extra.update(
+        {
+            "parallel_workers": workers,
+            "parallel_mode": mode,
+            "parallel_partitions": len(partitions),
+            "parallel_stages": stages,
+            "parallel_delta": delta,
+            "parallel_qdmax": bound.cutoff if bound.is_finite else None,
+        }
+    )
+    return JoinResult(final, total)
+
+
+# ----------------------------------------------------------------------
+# Incremental stream on the partitioned engine
+# ----------------------------------------------------------------------
+
+
+class ParallelIncrementalJoin:
+    """Staged incremental stream over :func:`parallel_kdj`.
+
+    Pulls results in merged ascending order without a preset k by
+    running partitioned top-``k_j`` sweeps with geometrically growing
+    ``k_j`` and yielding only the unseen tail of each stage.  Earlier
+    stages' work is repeated (the partitioned engines have no cross-call
+    compensation state), which trades total work for the partition-local
+    pruning — appropriate for the interactive paging pattern where only
+    a few batches are ever pulled.
+    """
+
+    def __init__(
+        self,
+        tree_r: RTree,
+        tree_s: RTree,
+        config: "JoinConfig | None" = None,
+        algorithm: str = "amkdj",
+    ) -> None:
+        from repro.core.api import JoinConfig
+
+        self._tree_r = tree_r
+        self._tree_s = tree_s
+        self._config = config or JoinConfig()
+        self._algorithm = algorithm
+        self._stats = JoinStats(algorithm="parallel-idj", k=0)
+        self._started = time.perf_counter()
+        self._generator = self._generate()
+        self._produced = 0
+
+    def _generate(self) -> Iterator[ResultPair]:
+        k = max(1, self._config.initial_k)
+        yielded = 0
+        while True:
+            result = parallel_kdj(
+                self._tree_r,
+                self._tree_s,
+                k,
+                config=self._config,
+                algorithm=self._algorithm,
+            )
+            self._stats.merge(result.stats)
+            for pair in result.results[yielded:]:
+                yielded += 1
+                yield pair
+            if len(result.results) < k:
+                return  # dataset exhausted
+            k *= 4
+
+    def __iter__(self) -> Iterator[ResultPair]:
+        for pair in self._generator:
+            self._produced += 1
+            yield pair
+
+    def next_batch(self, n: int) -> list[ResultPair]:
+        """Pull up to ``n`` further results (fewer only at exhaustion)."""
+        batch: list[ResultPair] = []
+        for pair in self._generator:
+            batch.append(pair)
+            if len(batch) == n:
+                break
+        self._produced += len(batch)
+        return batch
+
+    def close(self) -> None:
+        """End the stream; partition workers hold no persistent state."""
+        self._generator.close()
+
+    def __enter__(self) -> "ParallelIncrementalJoin":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> JoinStats:
+        """Aggregate metric snapshot across all stages pulled so far."""
+        self._stats.results = self._produced
+        self._stats.wall_time = time.perf_counter() - self._started
+        return self._stats
+
+
+def parallel_incremental_join(
+    tree_r: RTree,
+    tree_s: RTree,
+    config: "JoinConfig | None" = None,
+    algorithm: str = "amkdj",
+) -> ParallelIncrementalJoin:
+    """Incremental (no preset k) stream on the partitioned engine."""
+    return ParallelIncrementalJoin(tree_r, tree_s, config, algorithm)

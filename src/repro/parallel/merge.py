@@ -1,0 +1,70 @@
+"""Merging per-partition result streams into one global answer.
+
+Workers return their results sorted by ``(distance, ref_r, ref_s)``;
+:func:`merge_sorted` lazily k-way-merges those runs through a heap
+(``heapq.merge``) and :func:`merge_topk` materializes the k smallest.
+The tie-break on object ids makes the merged order a deterministic
+function of the result *set*, independent of partition count, worker
+scheduling, or executor mode.
+
+:class:`GlobalBound` is the shared global ``qDmax`` of the parallel
+engine: the parent (or, in thread/serial mode, the workers directly)
+feeds every confirmed pair distance into a k-bounded
+:class:`~repro.queues.distance_queue.DistanceQueue`, and its cutoff caps
+how deep later workers need to sweep.  Distances always belong to real
+object pairs, so the cutoff is a safe upper bound on the true k-th
+distance at all times — exactly the property ``qDmax`` has inside the
+sequential engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Iterator
+
+from repro.core.pairs import ResultPair
+from repro.queues.distance_queue import DistanceQueue
+
+
+def pair_key(pair: ResultPair) -> tuple[float, int, int]:
+    """Total order on result pairs: distance, then both object ids."""
+    return (pair.distance, pair.ref_r, pair.ref_s)
+
+
+def merge_sorted(runs: Iterable[list[ResultPair]]) -> Iterator[ResultPair]:
+    """Lazy k-way merge of sorted runs (heap of stream heads)."""
+    return heapq.merge(*runs, key=pair_key)
+
+
+def merge_topk(runs: Iterable[list[ResultPair]], k: int) -> list[ResultPair]:
+    """The k smallest pairs across all runs, in merged order."""
+    merged = merge_sorted(runs)
+    return [pair for _, pair in zip(range(k), merged)]
+
+
+class GlobalBound:
+    """Shared global ``qDmax`` across partition workers.
+
+    Thin wrapper over :class:`DistanceQueue` that tolerates fewer than k
+    offers (cutoff ``inf``) and exposes a read-only snapshot.  Updates
+    are parent-mediated: process-mode workers receive a frozen snapshot
+    at submission time, thread/serial-mode workers hold a reference and
+    re-read :attr:`cutoff` live between result pulls.  Single writers
+    plus atomic float reads mean no lock is needed.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._queue = DistanceQueue(k)
+
+    def offer(self, distances: Iterable[float]) -> None:
+        for distance in distances:
+            self._queue.insert(distance)
+
+    @property
+    def cutoff(self) -> float:
+        return self._queue.cutoff
+
+    @property
+    def is_finite(self) -> bool:
+        return not math.isinf(self._queue.cutoff)

@@ -26,8 +26,18 @@ Without ``rho`` (pass ``None``) the queue degenerates to the pure
 split-on-overflow scheme of earlier work; the difference is measured in
 the ablation benchmark.
 
-Invariant maintained throughout: every key in the heap is ``<=`` every
-key in any segment, so the global minimum is always the heap minimum.
+Boundary semantics are half-open everywhere: the heap owns distances in
+``[0, mem_bound)`` and the segments own ``[mem_bound, inf)``.  A split
+therefore never lets equal keys straddle the boundary — the whole block
+of keys equal to the split point moves to disk together.  Invariant
+maintained throughout: ``max(heap) <= mem_bound <= every segment key``,
+so the global minimum is always the heap minimum, checkable exactly
+(:meth:`MainQueue.check_invariant` does no tolerance-based comparison).
+
+A queue abandoned mid-drain in real-spill mode would leak its segment
+files; :meth:`MainQueue.close` (also reachable via the context-manager
+protocol) unlinks every live spill file, and the join engines call it
+from their teardown.
 """
 
 from __future__ import annotations
@@ -172,6 +182,32 @@ class MainQueue:
         """Entries the in-memory heap can hold."""
         return self._capacity
 
+    def close(self) -> None:
+        """Release on-disk resources: unlink every live spill file.
+
+        Safe to call at any time (including mid-drain) and idempotent.
+        The queue is logically empty afterwards; entries still queued are
+        discarded.  Engines call this from their teardown so an abandoned
+        queue — e.g. a k-distance join that stopped after k results with
+        candidates still spilled — leaves nothing behind in ``spill_dir``.
+        """
+        for segment in self._all_segments():
+            if segment.path is not None:
+                segment.path.unlink(missing_ok=True)
+                segment.path = None
+            segment.spilled = 0
+            segment.entries = []
+        self._split_segments = []
+        self._formula_segments = {}
+        self._heap = MinHeap()
+        self._size = 0
+
+    def __enter__(self) -> "MainQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def insert(self, distance: float, payload: Any) -> None:
         """Insert a candidate pair keyed by its minimum distance."""
         self.stats.insertions += 1
@@ -240,16 +276,21 @@ class MainQueue:
         )
 
     def check_invariant(self) -> bool:
-        """True when every heap key <= every segment key (test hook)."""
-        if not self._heap:
-            return True
-        heap_max = max(key for key, _ in self._heap)
+        """Exact check of the heap/segment boundary (test hook).
+
+        The heap owns ``[0, mem_bound)`` and the segments own
+        ``[mem_bound, inf)``, so the check is strict: no heap key may
+        exceed ``mem_bound`` and no staged segment key may fall below it.
+        (Spilled file batches share their segment's range, which starts
+        at or above the bound by construction.)
+        """
+        if self._heap:
+            heap_max = max(key for key, _ in self._heap)
+            if heap_max > self._mem_bound:
+                return False
         for segment in self._all_segments():
-            # staged entries only; spilled batches share the segment's
-            # range, which starts at or above the heap bound
-            if segment.lo < heap_max and not math.isclose(segment.lo, heap_max):
-                if any(key < heap_max for key, _ in segment.entries):
-                    return False
+            if any(key < self._mem_bound for key, _ in segment.entries):
+                return False
         return True
 
     # ------------------------------------------------------------------
@@ -283,6 +324,17 @@ class MainQueue:
             return segment
         index = int(distance * distance / (self._capacity * self._rho))
         index = min(max(index, 1), MAX_FORMULA_SEGMENTS - 1)
+        # Truncating float division and the sqrt in _boundary() can
+        # disagree by one index at an exact boundary; nudge so that
+        # boundary(index) <= distance < boundary(index + 1) holds for
+        # the same boundary values routing and swap-in use.
+        while index > 1 and self._boundary(index) > distance:
+            index -= 1
+        while (
+            index < MAX_FORMULA_SEGMENTS - 1
+            and self._boundary(index + 1) <= distance
+        ):
+            index += 1
         segment = self._formula_segments.get(index)
         if segment is None:
             segment = _Segment(self._boundary(index), self._boundary(index + 1))
@@ -296,6 +348,14 @@ class MainQueue:
         items.sort(key=lambda item: item[0])
         self._charge_sort(len(items))
         keep = len(items) // 2
+        # The new memory bound is moved[0][0] and the boundary is
+        # half-open: keys equal to it must all land on the segment side,
+        # so walk the split point back over any tie block.  When every
+        # key is the same the whole heap moves out (keep == 0) and the
+        # next pop swaps it straight back in.
+        boundary_key = items[keep][0]
+        while keep > 0 and items[keep - 1][0] == boundary_key:
+            keep -= 1
         kept, moved = items[:keep], items[keep:]
         old_bound = self._mem_bound
         self._mem_bound = moved[0][0]

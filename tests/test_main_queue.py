@@ -81,6 +81,84 @@ class TestBasics:
         assert len(queue) == 0 and not queue
 
 
+class TestBoundarySemantics:
+    """The heap/segment boundary is half-open and checked exactly."""
+
+    def test_split_keeps_tie_block_together(self):
+        # 9 inserts into an 8-entry heap, all the same key: a naive
+        # median split would leave equal keys on both sides of the new
+        # memory bound; the half-open rule moves the whole block out.
+        queue, _ = make_queue(entries=8)
+        for _ in range(9):
+            queue.insert(7.0, None)
+        assert queue.stats.splits == 1
+        assert queue.in_memory_size == 0
+        assert queue.check_invariant()
+        assert [queue.pop()[0] for _ in range(9)] == [7.0] * 9
+
+    def test_split_ties_never_straddle(self):
+        queue, _ = make_queue(entries=8)
+        for v in [1.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0, 4.0, 5.0]:
+            queue.insert(v, None)
+        assert queue.stats.splits == 1
+        assert queue.check_invariant()
+        # Everything >= the boundary key moved out together.
+        assert queue.in_memory_size == 2
+        out = [queue.pop()[0] for _ in range(9)]
+        assert out == sorted([1.0, 2.0, 3.0, 3.0, 3.0, 3.0, 3.0, 4.0, 5.0])
+
+    def test_invariant_is_exact_not_approximate(self):
+        # Keys a hair apart must be separated exactly; an isclose-style
+        # check would wave a straddling key through.
+        queue, _ = make_queue(entries=4)
+        base = 10.0
+        nudged = math.nextafter(base, math.inf)
+        for v in [base, base, nudged, nudged, base]:
+            queue.insert(v, None)
+        assert queue.check_invariant()
+        assert [queue.pop()[0] for _ in range(5)] == sorted(
+            [base, base, nudged, nudged, base]
+        )
+
+    def test_formula_routing_at_exact_boundaries(self):
+        # Distances landing exactly on sqrt(i * n * rho) must go to the
+        # segment whose half-open range starts there, for the same
+        # boundary values swap-in later uses as the new memory bound.
+        queue, _ = make_queue(entries=16, rho=0.25)
+        boundaries = [math.sqrt(i * 16 * 0.25) for i in range(1, 6)]
+        for b in boundaries:
+            queue.insert(b, None)
+            assert queue.check_invariant()
+        out = [queue.pop()[0] for _ in range(len(boundaries))]
+        assert out == sorted(boundaries)
+
+
+class TestCloseAndContextManager:
+    def test_close_empties_queue(self):
+        queue, _ = make_queue(entries=8)
+        for v in range(40):
+            queue.insert(float(v), None)
+        queue.close()
+        assert len(queue) == 0 and not queue
+        assert queue.segment_count == 0
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_close_idempotent_and_reusable(self):
+        queue, _ = make_queue(entries=8)
+        queue.insert(1.0, "a")
+        queue.close()
+        queue.close()
+        queue.insert(2.0, "b")
+        assert queue.pop() == (2.0, "b")
+
+    def test_context_manager_closes(self):
+        with make_queue(entries=8)[0] as queue:
+            for v in range(40):
+                queue.insert(float(v), None)
+        assert len(queue) == 0
+
+
 class TestRhoBoundaries:
     def test_far_inserts_spill_immediately(self):
         # boundary b1 = sqrt(32 * 1.0) ~ 5.66: distances beyond go to disk

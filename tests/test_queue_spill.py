@@ -60,6 +60,103 @@ def test_spill_matches_reference_heap_interleaved(tmp_path):
         assert queue.pop()[0] == heapq.heappop(model)
 
 
+def test_abandoned_queue_close_removes_spill_files(tmp_path):
+    """A queue dropped mid-drain must not leak ``seg-*.pile`` files."""
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=0.1, spill_dir=tmp_path
+    )
+    for v in range(5000):
+        queue.insert(float(v % 613), v)
+    for _ in range(100):  # partial drain, then abandon
+        queue.pop()
+    assert queue.spill_files > 0
+    queue.close()
+    assert queue.spill_files == 0
+    assert not list(tmp_path.glob("*.pile"))
+    assert len(queue) == 0
+
+
+def test_queue_context_manager_cleans_spill_dir(tmp_path):
+    with MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=0.1, spill_dir=tmp_path
+    ) as queue:
+        for v in range(3000):
+            queue.insert(float(v % 401), v)
+        assert any(tmp_path.iterdir())
+    assert not any(tmp_path.iterdir())
+
+
+def test_swap_in_remainder_written_back_to_disk(tmp_path):
+    """A segment larger than the heap keeps only the smallest entries in
+    memory; the remainder must go back to a (new) spill file."""
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=100.0, spill_dir=tmp_path
+    )
+    # rho=100 puts b1 at sqrt(8*100) ~ 28.3; everything above lands in
+    # one formula segment, far larger than the 8-entry heap.
+    values = [float(v) for v in range(30, 330)]
+    random.Random(9).shuffle(values)
+    for v in values:
+        queue.insert(v, v)
+    assert queue.in_memory_size == 0
+    queue.pop()  # forces the oversized swap-in
+    assert queue.in_memory_size == 7
+    assert queue.spill_files > 0  # remainder write-back created a file
+    out = [30.0] + [queue.pop()[0] for _ in range(299)]
+    assert out == sorted(values)
+    assert queue.spill_files == 0
+    assert not list(tmp_path.glob("*.pile"))
+
+
+def test_drained_then_abandoned_leaves_zero_pile_files(tmp_path):
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=0.5, spill_dir=tmp_path
+    )
+    rng = random.Random(4)
+    for _ in range(2500):
+        queue.insert(rng.uniform(0, 300), None)
+    while queue:
+        queue.pop()
+    queue.close()
+    assert not list(tmp_path.glob("*.pile"))
+
+
+def test_randomized_pop_order_matches_heap_with_spill(tmp_path):
+    rng = random.Random(11)
+    queue = MainQueue(
+        SimulatedDisk(), memory_bytes=48 * 8, rho=2.0, spill_dir=tmp_path
+    )
+    model: list[float] = []
+    for step in range(6000):
+        if rng.random() < 0.55 or not model:
+            v = rng.choice([rng.uniform(0, 400), float(rng.randrange(50))])
+            queue.insert(v, None)
+            heapq.heappush(model, v)
+        else:
+            assert queue.pop()[0] == heapq.heappop(model)
+    while model:
+        assert queue.pop()[0] == heapq.heappop(model)
+    assert not list(tmp_path.glob("*.pile"))
+
+
+def test_abandoned_incremental_join_cleans_spill_dir(tmp_path, small_trees):
+    """End-to-end: an incremental stream abandoned after a few results
+    releases its spill files via close()/the context manager."""
+    tree_r, tree_s = small_trees
+    config = JoinConfig(queue_memory=1024, spill_dir=str(tmp_path))
+    with JoinRunner(tree_r, tree_s, config).idj("hs") as stream:
+        stream.next_batch(25)
+        assert any(tmp_path.glob("*.pile"))
+    assert not list(tmp_path.glob("*.pile"))
+
+
+def test_kdj_run_cleans_spill_dir(tmp_path, small_trees):
+    tree_r, tree_s = small_trees
+    config = JoinConfig(queue_memory=1024, spill_dir=str(tmp_path))
+    JoinRunner(tree_r, tree_s, config).kdj(50, "amkdj")
+    assert not list(tmp_path.glob("*.pile"))
+
+
 def test_join_runs_with_real_spill(tmp_path, small_trees, small_r, small_s):
     tree_r, tree_s = small_trees
     config = JoinConfig(queue_memory=2 * 1024, spill_dir=str(tmp_path))

@@ -6,18 +6,24 @@ Commands:
   indexes to disk;
 - ``join`` — run a k-distance join between two saved indexes with any of
   the four algorithms and print results plus the paper's metrics;
+- ``trace`` — render a trace file recorded with ``join --trace`` as a
+  stage timeline, eDmax convergence report, and event summary;
 - ``experiment`` — regenerate one of the paper's tables/figures.
 
 Example session::
 
     python -m repro generate --streets 20000 --hydro 7000 --out /tmp/az
     python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 100 -a amkdj
+    python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 100 \
+        --trace /tmp/run.jsonl --json
+    python -m repro trace /tmp/run.jsonl
     python -m repro experiment fig10
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -59,21 +65,48 @@ def _cmd_join(args: argparse.Namespace) -> int:
     config = JoinConfig(
         queue_memory=args.queue_kb * 1024,
         buffer_memory=args.buffer_kb * 1024,
+        parallel=args.parallel,
+        trace_path=args.trace,
+        trace_format=args.trace_format,
+        collect_metrics=args.json,
     )
     runner = JoinRunner(tree_r, tree_s, config)
     result = runner.kdj(args.k, args.algorithm)
+    s = result.stats
+    if args.json:
+        row = s.as_row()
+        row["extra"] = s.extra
+        payload = {
+            "stats": row,
+            "results": [
+                [pair.distance, pair.ref_r, pair.ref_s]
+                for pair in result.results[: args.show]
+            ],
+        }
+        # default=repr: stats extras may carry non-finite floats.
+        print(json.dumps(payload, indent=2, default=repr))
+        return 0
     shown = result.results[: args.show]
     for rank, pair in enumerate(shown, start=1):
         print(f"{rank:6d}.  r#{pair.ref_r:<8d} s#{pair.ref_s:<8d} "
               f"distance {pair.distance:.4f}")
     if len(result) > len(shown):
         print(f"... and {len(result) - len(shown):,} more")
-    s = result.stats
     print(f"\n[{s.algorithm}] distance computations: "
           f"{s.real_distance_computations:,} | queue insertions: "
           f"{s.queue_insertions:,} | node accesses: {s.node_accesses:,} "
           f"({s.node_accesses_unbuffered:,} unbuffered) | response: "
           f"{s.response_time:.3f}s simulated, {s.wall_time:.3f}s wall")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(render with: python -m repro trace {args.trace})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    print(render_report(args.trace_file, width=args.width))
     return 0
 
 
@@ -112,7 +145,24 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--buffer-kb", type=int, default=512)
     join.add_argument("--show", type=int, default=20,
                       help="result rows to print")
+    join.add_argument("--parallel", type=int, default=1,
+                      help="worker count for the partitioned engine")
+    join.add_argument("--trace", metavar="PATH", default=None,
+                      help="record a structured event trace (JSONL, or a "
+                           "Chrome trace_event JSON for .json paths)")
+    join.add_argument("--trace-format", choices=["jsonl", "chrome"],
+                      default=None,
+                      help="override the trace format inferred from PATH")
+    join.add_argument("--json", action="store_true",
+                      help="print stats and results as JSON (implies the "
+                           "metrics registry; extras land under 'extra')")
     join.set_defaults(func=_cmd_join)
+
+    trace = sub.add_parser("trace", help="render a recorded join trace")
+    trace.add_argument("trace_file", help="file written by join --trace")
+    trace.add_argument("--width", type=int, default=48,
+                       help="timeline bar width in characters")
+    trace.set_defaults(func=_cmd_trace)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -123,7 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into head/less and closed early: not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

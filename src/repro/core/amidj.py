@@ -35,6 +35,7 @@ from repro.core.base import JoinContext
 from repro.core.pairs import Item, PairPayload, ResultPair
 from repro.core.planesweep import ExpansionRecord, PlaneSweeper, static_cutoff
 from repro.geometry.distances import max_distance
+from repro.obs.metrics import StageMeter
 
 #: Stage-target growth when the user keeps asking for more results.
 TARGET_GROWTH = 2.0
@@ -88,6 +89,9 @@ def amidj(
     sweeper = PlaneSweeper(
         ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
     )
+    tracer = ctx.instr.tracer
+    metrics = ctx.instr.metrics
+    result_hist = metrics.histogram("result_distance") if metrics is not None else None
 
     schedule = list(edmax_schedule or [])
     target_k = initial_k
@@ -104,72 +108,110 @@ def amidj(
     def emit(item_r: Item, item_s: Item, real: float) -> None:
         queue.insert(real, PairPayload(item_r, item_s))
 
+    tracer.begin("join:amidj", initial_k=initial_k)
+    tracer.event("edmax", reason="init", old=math.inf, new=edmax, actual=math.inf)
+    stage_name = f"stage:{state.stage}"
+    tracer.begin(stage_name, edmax=edmax)
+    batch = tracer.batcher("expand")
+    # Meter baseline before the root-pair distance: every charged
+    # computation lands in a stage delta.
+    meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
+
     root_r, root_s = roots
     queue.insert(
         ctx.instr.real_distance(root_r.rect, root_s.rect),
         PairPayload(root_r, root_s),
     )
 
-    while True:
-        if not queue:
-            if not records:
-                return  # dataset exhausted: every pair has been produced
-            edmax = _next_stage(ctx, state, schedule, produced, last_distance,
+    def advance_stage() -> float:
+        """Stage boundary: close the span, re-estimate, resume records."""
+        nonlocal stage_name, target_k
+        batch.flush()
+        tracer.end(stage_name, results=produced)
+        if meter is not None:
+            meter.stage_end(f"s{state.stage}")
+        old_edmax = edmax
+        new_edmax = _next_stage(ctx, state, schedule, produced, last_distance,
                                 target_k, edmax)
-            target_k = max(int(target_k * TARGET_GROWTH), produced + initial_k)
-            _refill(queue, records)
-            records = []
-            continue
+        target_k = max(int(target_k * TARGET_GROWTH), produced + initial_k)
+        if tracer.enabled:
+            tracer.event("edmax", reason="stage", old=old_edmax, new=new_edmax,
+                         actual=last_distance)
+            tracer.event("compensation_resume", records=len(records),
+                         produced=produced)
+        _refill(queue, records)
+        stage_name = f"stage:{state.stage}"
+        tracer.begin(stage_name, edmax=new_edmax)
+        return new_edmax
 
-        distance, payload = queue.pop()
-        if distance > edmax and records:
-            # Stage boundary: answers beyond the cutoff may have been
-            # pruned; compensate before going on.
-            queue.insert(distance, payload)
-            edmax = _next_stage(ctx, state, schedule, produced, last_distance,
-                                target_k, edmax)
-            target_k = max(int(target_k * TARGET_GROWTH), produced + initial_k)
-            _refill(queue, records)
-            records = []
-            continue
+    try:
+        while True:
+            if not queue:
+                if not records:
+                    return  # dataset exhausted: every pair has been produced
+                edmax = advance_stage()
+                records = []
+                continue
 
-        if payload.is_object_pair:
-            produced += 1
-            last_distance = distance
-            state.produced = produced
-            yield ResultPair(distance, payload.a.ref, payload.b.ref)
-            continue
+            distance, payload = queue.pop()
+            if distance > edmax and records:
+                # Stage boundary: answers beyond the cutoff may have been
+                # pruned; compensate before going on.
+                queue.insert(distance, payload)
+                edmax = advance_stage()
+                records = []
+                continue
 
-        cutoff_now = edmax
-        no_real_filter = static_cutoff(math.inf)
-        if payload.record is not None:
-            # Sorted child lists live in the record: no refetch, no re-sort.
-            record = payload.record
-            sweeper.compensate(
-                record,
-                axis_limit=lambda: cutoff_now,
-                real_limit=no_real_filter,
-                emit=emit,
-                new_record_real_cutoff=None,
-            )
-        else:
-            record = sweeper.expand(
-                payload.a,
-                payload.b,
-                ctx.children_r(payload.a),
-                ctx.children_s(payload.b),
-                axis_limit=lambda: cutoff_now,
-                real_limit=no_real_filter,
-                emit=emit,
-                keep_record=True,
-                pair_distance=distance,
-                record_real_cutoff=None,
-            )
-            assert record is not None
-        if not _exhausted(ctx, record, cutoff_now):
-            records.append(record)
-            if len(records) > state.comp_records_peak:
-                state.comp_records_peak = len(records)
+            if payload.is_object_pair:
+                produced += 1
+                last_distance = distance
+                state.produced = produced
+                if result_hist is not None:
+                    result_hist.observe(distance)
+                yield ResultPair(distance, payload.a.ref, payload.b.ref)
+                continue
+
+            cutoff_now = edmax
+            no_real_filter = static_cutoff(math.inf)
+            if payload.record is not None:
+                # Sorted child lists live in the record: no refetch, no re-sort.
+                record = payload.record
+                sweeper.compensate(
+                    record,
+                    axis_limit=lambda: cutoff_now,
+                    real_limit=no_real_filter,
+                    emit=emit,
+                    new_record_real_cutoff=None,
+                )
+                batch.tick(resumed=1)
+            else:
+                record = sweeper.expand(
+                    payload.a,
+                    payload.b,
+                    ctx.children_r(payload.a),
+                    ctx.children_s(payload.b),
+                    axis_limit=lambda: cutoff_now,
+                    real_limit=no_real_filter,
+                    emit=emit,
+                    keep_record=True,
+                    pair_distance=distance,
+                    record_real_cutoff=None,
+                )
+                assert record is not None
+                batch.tick(fresh=1)
+            if not _exhausted(ctx, record, cutoff_now):
+                records.append(record)
+                if len(records) > state.comp_records_peak:
+                    state.comp_records_peak = len(records)
+    finally:
+        # Runs at exhaustion or when the caller abandons the stream
+        # (GeneratorExit): close the open spans so the trace stays
+        # well-nested even for partial pulls.
+        batch.flush()
+        tracer.end(stage_name, results=produced)
+        if meter is not None:
+            meter.stage_end(f"s{state.stage}")
+        tracer.end("join:amidj", results=produced)
 
 
 def _next_stage(

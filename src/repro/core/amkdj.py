@@ -38,6 +38,7 @@ from repro.core.base import JoinContext
 from repro.core.pairs import Item, PairPayload, ResultPair
 from repro.core.planesweep import PlaneSweeper
 from repro.core.stats import JoinStats
+from repro.obs.metrics import StageMeter
 from repro.queues.compensation import CompensationQueue
 from repro.queues.distance_queue import DistanceQueue
 
@@ -76,6 +77,9 @@ def amkdj(
     sweeper = PlaneSweeper(
         ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
     )
+    tracer = ctx.instr.tracer
+    metrics = ctx.instr.metrics
+    result_hist = metrics.histogram("result_distance") if metrics is not None else None
 
     edmax_value = ctx.initial_edmax(k) if edmax is None else edmax
     initial_edmax = edmax_value
@@ -89,9 +93,23 @@ def amkdj(
         pair = PairPayload(item_r, item_s)
         queue.insert(real, pair)
         if pair.is_object_pair:
-            distance_queue.insert(real)
+            if tracer.enabled:
+                before = distance_queue.cutoff
+                distance_queue.insert(real)
+                after = distance_queue.cutoff
+                if after < before:
+                    tracer.event("qdmax", old=before, new=after)
+            else:
+                distance_queue.insert(real)
         elif ctx.options.distance_queue_all_pairs:
             distance_queue.insert(item_r.rect.max_dist(item_s.rect))
+
+    tracer.begin("join:amkdj", k=k, adaptive=adaptive)
+    tracer.event("edmax", reason="init", old=math.inf, new=edmax_value,
+                 actual=math.inf)
+    # The meter baseline precedes the root-pair distance so every charged
+    # computation is attributed to a stage.
+    meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
 
     root_r, root_s = roots
     queue.insert(
@@ -102,6 +120,9 @@ def amkdj(
     # ------------------------------------------------------------------
     # Stage one: aggressive pruning (Algorithm 2)
     # ------------------------------------------------------------------
+    tracer.begin("stage:aggressive", edmax=edmax_value)
+    batch = tracer.batcher("expand")
+    estimate_active = True  # until line 8 replaces eDmax with qDmax
     need_compensation = False
     while len(results) < k and queue:
         distance, payload = queue.pop()
@@ -115,23 +136,36 @@ def amkdj(
             break
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            if result_hist is not None:
+                result_hist.observe(distance)
             if adaptive and len(results) >= next_milestone and len(results) < k:
-                edmax_value = min(
-                    _re_estimate(ctx, len(results), k, distance), qdmax()
-                )
+                corrected = min(_re_estimate(ctx, len(results), k, distance), qdmax())
+                if tracer.enabled:
+                    tracer.event("edmax", reason="milestone", old=edmax_value,
+                                 new=corrected, actual=distance)
+                edmax_value = corrected
                 next_milestone += max(k // 4, 1)
             continue
         safe_bound = qdmax()
         if safe_bound <= edmax_value:
-            edmax_value = safe_bound  # line 8: the estimate is now moot
+            # Line 8: the safe bound has caught up; the estimate is moot
+            # and the run degenerates into B-KDJ from here on.
+            if estimate_active:
+                estimate_active = False
+                if tracer.enabled:
+                    tracer.event("edmax", reason="safe-bound", old=edmax_value,
+                                 new=safe_bound, actual=safe_bound)
+            edmax_value = safe_bound
         if edmax_value < safe_bound:
             min_unsafe_cutoff = min(min_unsafe_cutoff, edmax_value)
         cutoff_now = edmax_value
+        children_r = ctx.children_r(payload.a)
+        children_s = ctx.children_s(payload.b)
         record = sweeper.expand(
             payload.a,
             payload.b,
-            ctx.children_r(payload.a),
-            ctx.children_s(payload.b),
+            children_r,
+            children_s,
             axis_limit=lambda: cutoff_now,
             real_limit=qdmax,
             emit=emit,
@@ -141,6 +175,12 @@ def amkdj(
         )
         assert record is not None
         comp_queue.enqueue(record)
+        batch.tick(children=len(children_r) + len(children_s))
+
+    batch.flush()
+    tracer.end("stage:aggressive", results=len(results))
+    if meter is not None:
+        meter.stage_end("aggressive")
 
     # ------------------------------------------------------------------
     # Stage two: compensation (Algorithm 3)
@@ -148,12 +188,18 @@ def amkdj(
     stages = 0
     if need_compensation or (len(results) < k and comp_queue):
         stages = 1
+        tracer.begin("stage:compensation")
+        tracer.event("compensation_resume", records=len(comp_queue),
+                     produced=len(results), qdmax=qdmax())
+        batch = tracer.batcher("expand:compensate")
         for record in comp_queue.drain():
             queue.insert(record.distance, PairPayload(record.a, record.b, record))
         while len(results) < k and queue:
             distance, payload = queue.pop()
             if payload.is_object_pair:
                 results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+                if result_hist is not None:
+                    result_hist.observe(distance)
                 continue
             if payload.record is not None:
                 # The record kept the child lists sorted in stage one, so
@@ -166,6 +212,7 @@ def amkdj(
                     real_limit=qdmax,
                     emit=emit,
                 )
+                batch.tick(resumed=1)
             else:
                 sweeper.expand(
                     payload.a,
@@ -176,12 +223,18 @@ def amkdj(
                     real_limit=qdmax,
                     emit=emit,
                 )
+                batch.tick(fresh=1)
+        batch.flush()
+        tracer.end("stage:compensation", results=len(results))
+        if meter is not None:
+            meter.stage_end("compensation")
 
     stats = ctx.make_stats("amkdj", k, len(results))
     stats.distance_queue_insertions = distance_queue.insertions
     stats.compensation_stages = stages
     stats.compensation_peak = comp_queue.peak_size
     stats.edmax_initial = initial_edmax
+    tracer.end("join:amkdj", results=len(results))
     return results, stats
 
 

@@ -59,6 +59,15 @@ class JoinConfig:
     sweeps, ``"thread"`` for simulated-I/O runs, ``"serial"`` for
     deterministic in-process debugging) and ``parallel_partitions``
     overrides the number of space tiles (default: two per worker).
+
+    ``trace_path`` turns on the :mod:`repro.obs` tracing subsystem for
+    every run of the runner: structured events (stage spans, eDmax
+    updates, queue splits/spills/swap-ins, …) stream to that file —
+    JSONL by default, a Chrome ``trace_event`` JSON when the path ends
+    in ``.json`` or ``trace_format="chrome"``.  ``collect_metrics``
+    enables the metrics registry (result-distance and queue-depth
+    histograms, per-stage work deltas) whose snapshot lands in
+    ``JoinStats.extra``; tracing implies it.
     """
 
     queue_memory: int = DEFAULT_QUEUE_MEMORY
@@ -79,6 +88,9 @@ class JoinConfig:
     parallel: int = 1
     parallel_mode: str = "process"
     parallel_partitions: int | None = None
+    trace_path: str | None = None
+    trace_format: str | None = None
+    collect_metrics: bool = False
 
     def engine_options(self) -> EngineOptions:
         return EngineOptions(
@@ -116,15 +128,40 @@ class JoinRunner:
     """
 
     def __init__(
-        self, tree_r: RTree, tree_s: RTree, config: JoinConfig | None = None
+        self,
+        tree_r: RTree,
+        tree_s: RTree,
+        config: JoinConfig | None = None,
+        tracer=None,
     ) -> None:
         self.tree_r = tree_r
         self.tree_s = tree_s
         self.config = config or JoinConfig()
+        # An externally-owned tracer (the parallel engine hands workers
+        # collecting tracers this way); ``config.trace_path`` builds a
+        # per-run file tracer instead, owned and closed by the run.
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
 
-    def _context(self) -> JoinContext:
+    def _open_tracer(self):
+        """(tracer, owned) for one run; ``owned`` means the run closes it."""
+        if self._tracer is not None:
+            return self._tracer, False
+        if self.config.trace_path is not None:
+            from repro.obs import tracer_for
+
+            return tracer_for(self.config.trace_path, self.config.trace_format), True
+        return None, False
+
+    def _metrics(self, tracer):
+        if self.config.collect_metrics or tracer is not None:
+            from repro.obs.metrics import MetricsRegistry
+
+            return MetricsRegistry()
+        return None
+
+    def _context(self, tracer=None, metrics=None) -> JoinContext:
         cfg = self.config
         return JoinContext(
             self.tree_r,
@@ -136,6 +173,8 @@ class JoinRunner:
             options=cfg.engine_options(),
             model_queue_boundaries=cfg.model_queue_boundaries,
             spill_dir=cfg.spill_dir,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -161,7 +200,8 @@ class JoinRunner:
                 algorithm=algorithm,
                 dmax=dmax,
             )
-        ctx = self._context()
+        tracer, owned = self._open_tracer()
+        ctx = self._context(tracer, self._metrics(tracer))
         started = time.perf_counter()
         try:
             if algorithm == "hs":
@@ -181,6 +221,8 @@ class JoinRunner:
                 results, stats = sjsort_mod.sj_sort(ctx, k, cutoff)
         finally:
             ctx.close()
+            if owned:
+                tracer.close()
         stats.wall_time = time.perf_counter() - started
         return JoinResult(results, stats)
 
@@ -190,7 +232,8 @@ class JoinRunner:
             raise ValueError(
                 f"unknown IDJ algorithm {algorithm!r}; pick one of {IDJ_ALGORITHMS}"
             )
-        ctx = self._context()
+        tracer, owned = self._open_tracer()
+        ctx = self._context(tracer, self._metrics(tracer))
         if algorithm == "hs":
             generator = hs_mod.hs_idj(ctx)
             name = "hs-idj"
@@ -209,7 +252,8 @@ class JoinRunner:
                 state=state,
             )
             name = "am-idj"
-        return IncrementalJoin(ctx, generator, name, state)
+        return IncrementalJoin(ctx, generator, name, state,
+                               owned_tracer=tracer if owned else None)
 
     # ------------------------------------------------------------------
 
@@ -231,6 +275,7 @@ class IncrementalJoin:
         generator: Iterator[ResultPair],
         name: str,
         state: "amidj_mod.AMIDJState | None",
+        owned_tracer=None,
     ) -> None:
         self._ctx = ctx
         self._generator = generator
@@ -239,6 +284,7 @@ class IncrementalJoin:
         self._produced = 0
         self._started = time.perf_counter()
         self._closed = False
+        self._owned_tracer = owned_tracer
 
     def close(self) -> None:
         """Release the run's resources (spill files); idempotent.
@@ -249,8 +295,12 @@ class IncrementalJoin:
         """
         if not self._closed:
             self._closed = True
+            # Close the generator first: its teardown emits the final
+            # trace span ends, which must land before the sinks flush.
             self._generator.close()
             self._ctx.close()
+            if self._owned_tracer is not None:
+                self._owned_tracer.close()
 
     def __enter__(self) -> "IncrementalJoin":
         return self

@@ -74,6 +74,8 @@ class JoinContext:
         options: EngineOptions | None = None,
         model_queue_boundaries: bool = True,
         spill_dir: str | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self.tree_r = tree_r
         self.tree_s = tree_s
@@ -83,7 +85,13 @@ class JoinContext:
         # evenly between the two trees' pools.
         self.accessor_r = TreeAccessor(tree_r, self.disk, buffer_memory // 2)
         self.accessor_s = TreeAccessor(tree_s, self.disk, buffer_memory // 2)
-        self.instr = Instruments(self.disk, self.accessor_r, self.accessor_s)
+        # The tracer/registry stay owned by whoever created them (the
+        # runner closes a file-backed tracer after the run); the context
+        # only fans them out to the instrumented components.
+        self.instr = Instruments(
+            self.disk, self.accessor_r, self.accessor_s,
+            tracer=tracer, metrics=metrics,
+        )
         self.rho = rho if rho is not None else self.default_rho()
         self.queue_memory = queue_memory
         # The Equation (3) density model pre-places the hybrid queue's
@@ -95,6 +103,7 @@ class JoinContext:
             self.disk, queue_memory, rho=queue_rho, spill_dir=spill_dir
         )
         self.instr.attach_queue(self.main_queue)
+        self.main_queue.set_observer(self.instr.tracer, self.instr.metrics)
         self.options = options or EngineOptions()
 
     def close(self) -> None:

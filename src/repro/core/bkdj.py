@@ -14,6 +14,7 @@ from repro.core.base import JoinContext
 from repro.core.pairs import Item, PairPayload, ResultPair
 from repro.core.planesweep import PlaneSweeper
 from repro.core.stats import JoinStats
+from repro.obs.metrics import StageMeter
 from repro.queues.distance_queue import DistanceQueue
 
 
@@ -31,6 +32,9 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     sweeper = PlaneSweeper(
         ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
     )
+    tracer = ctx.instr.tracer
+    metrics = ctx.instr.metrics
+    result_hist = metrics.histogram("result_distance") if metrics is not None else None
 
     def qdmax() -> float:
         return distance_queue.cutoff
@@ -39,9 +43,23 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
         pair = PairPayload(item_r, item_s)
         queue.insert(real, pair)
         if pair.is_object_pair:
-            distance_queue.insert(real)
+            if tracer.enabled:
+                before = distance_queue.cutoff
+                distance_queue.insert(real)
+                after = distance_queue.cutoff
+                if after < before:
+                    tracer.event("qdmax", old=before, new=after)
+            else:
+                distance_queue.insert(real)
         elif ctx.options.distance_queue_all_pairs:
             distance_queue.insert(item_r.rect.max_dist(item_s.rect))
+
+    tracer.begin("join:bkdj", k=k)
+    tracer.begin("stage:traversal")
+    batch = tracer.batcher("expand")
+    # Meter baseline before the root-pair distance: every charged
+    # computation lands in a stage delta.
+    meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
 
     root_r, root_s = roots
     queue.insert(ctx.instr.real_distance(root_r.rect, root_s.rect),
@@ -51,17 +69,27 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
         distance, payload = queue.pop()
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            if result_hist is not None:
+                result_hist.observe(distance)
             continue
+        children_r = ctx.children_r(payload.a)
+        children_s = ctx.children_s(payload.b)
         sweeper.expand(
             payload.a,
             payload.b,
-            ctx.children_r(payload.a),
-            ctx.children_s(payload.b),
+            children_r,
+            children_s,
             axis_limit=qdmax,
             real_limit=qdmax,
             emit=emit,
         )
+        batch.tick(children=len(children_r) + len(children_s))
 
+    batch.flush()
+    tracer.end("stage:traversal")
+    if meter is not None:
+        meter.stage_end("traversal")
     stats = ctx.make_stats("bkdj", k, len(results))
     stats.distance_queue_insertions = distance_queue.insertions
+    tracer.end("join:bkdj", results=len(results))
     return results, stats

@@ -39,6 +39,9 @@ def hs_incremental(
         return
     root_r, root_s = roots
     queue = ctx.main_queue
+    tracer = ctx.instr.tracer
+    metrics = ctx.instr.metrics
+    result_hist = metrics.histogram("result_distance") if metrics is not None else None
     start_distance = ctx.instr.real_distance(root_r.rect, root_s.rect)
     queue.insert(start_distance, PairPayload(root_r, root_s))
     flip = False
@@ -46,41 +49,65 @@ def hs_incremental(
     def qdmax() -> float:
         return distance_queue.cutoff if distance_queue is not None else math.inf
 
-    while queue:
-        distance, payload = queue.pop()
-        if distance > qdmax():
-            # Everything still queued is at least this far: by the time
-            # this triggers the k results are already out, but the guard
-            # keeps the traversal safe under any caller behavior.
-            continue
-        if payload.is_object_pair:
-            yield ResultPair(distance, payload.a.ref, payload.b.ref)
-            continue
-        expand_r = pick_expansion_side(
-            payload.a, payload.b, ctx.options.expansion_policy, flip
-        )
-        flip = not flip
-        if expand_r:
-            children = ctx.children_r(payload.a)
-            partner = payload.b
-        else:
-            children = ctx.children_s(payload.b)
-            partner = payload.a
-        cutoff = qdmax() if ctx.options.hs_insert_pruning else math.inf
-        for child in children:
-            real = ctx.instr.real_distance(child.rect, partner.rect)
-            if real > cutoff:
+    name = "join:hs-kdj" if distance_queue is not None else "join:hs-idj"
+    tracer.begin(name)
+    tracer.begin("stage:traversal")
+    batch = tracer.batcher("expand")
+    produced = 0
+    try:
+        while queue:
+            distance, payload = queue.pop()
+            if distance > qdmax():
+                # Everything still queued is at least this far: by the time
+                # this triggers the k results are already out, but the guard
+                # keeps the traversal safe under any caller behavior.
                 continue
-            pair = (
-                PairPayload(child, partner) if expand_r else PairPayload(partner, child)
+            if payload.is_object_pair:
+                produced += 1
+                if result_hist is not None:
+                    result_hist.observe(distance)
+                yield ResultPair(distance, payload.a.ref, payload.b.ref)
+                continue
+            expand_r = pick_expansion_side(
+                payload.a, payload.b, ctx.options.expansion_policy, flip
             )
-            queue.insert(real, pair)
-            if pair.is_object_pair and distance_queue is not None:
-                distance_queue.insert(real)
-                cutoff = qdmax()
-            elif distance_queue is not None and ctx.options.distance_queue_all_pairs:
-                distance_queue.insert(pair.a.rect.max_dist(pair.b.rect))
-                cutoff = qdmax()
+            flip = not flip
+            if expand_r:
+                children = ctx.children_r(payload.a)
+                partner = payload.b
+            else:
+                children = ctx.children_s(payload.b)
+                partner = payload.a
+            batch.tick(children=len(children))
+            cutoff = qdmax() if ctx.options.hs_insert_pruning else math.inf
+            for child in children:
+                real = ctx.instr.real_distance(child.rect, partner.rect)
+                if real > cutoff:
+                    continue
+                pair = (
+                    PairPayload(child, partner) if expand_r else PairPayload(partner, child)
+                )
+                queue.insert(real, pair)
+                if pair.is_object_pair and distance_queue is not None:
+                    if tracer.enabled:
+                        before = distance_queue.cutoff
+                        distance_queue.insert(real)
+                        after = distance_queue.cutoff
+                        if after < before:
+                            tracer.event("qdmax", old=before, new=after)
+                    else:
+                        distance_queue.insert(real)
+                    cutoff = qdmax()
+                elif distance_queue is not None and ctx.options.distance_queue_all_pairs:
+                    distance_queue.insert(pair.a.rect.max_dist(pair.b.rect))
+                    cutoff = qdmax()
+    finally:
+        # The caller abandons the generator after k results (or the user
+        # walks away from an IDJ stream); close the spans either way so
+        # partial traces still nest correctly.
+        batch.flush()
+        tracer.end("stage:traversal")
+        tracer.end(name, results=produced)
 
 
 def hs_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
@@ -89,10 +116,14 @@ def hs_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
         raise ValueError("k must be positive")
     distance_queue = DistanceQueue(k)
     results: list[ResultPair] = []
-    for pair in hs_incremental(ctx, distance_queue):
+    generator = hs_incremental(ctx, distance_queue)
+    for pair in generator:
         results.append(pair)
         if len(results) == k:
             break
+    # Explicit close (not GC) so the traversal's trace spans end before
+    # the stats snapshot and before the run's tracer is closed.
+    generator.close()
     stats = ctx.make_stats("hs-kdj", k, len(results))
     stats.distance_queue_insertions = distance_queue.insertions
     return results, stats

@@ -37,6 +37,9 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
     if len(ids_r) == 0 or len(ids_s) == 0:
         return [], ctx.make_stats("nlj", k, 0)
 
+    tracer = ctx.instr.tracer
+    tracer.begin("join:nlj", k=k)
+
     # Block size: the memory the paper grants the queue, spent on the
     # outer block instead (48 modeled bytes per held object).
     block = max(ctx.queue_memory // 48, 64)
@@ -82,8 +85,13 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
         ResultPair(float(best_d[m]), int(ids_r[best_i[m]]), int(ids_s[best_j[m]]))
         for m in order
     ]
+    if ctx.instr.metrics is not None:
+        hist = ctx.instr.metrics.histogram("result_distance")
+        for pair in results:
+            hist.observe(pair.distance)
     stats = ctx.make_stats("nlj", k, len(results))
     stats.extra["outer_passes"] = float(passes)
+    tracer.end("join:nlj", results=len(results), pairs_compared=total_pairs)
     return results, stats
 
 

@@ -51,19 +51,40 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
         else:
             stack.append(PairPayload(item_r, item_s))
 
-    while stack:
-        payload = stack.pop()
-        sweeper.expand(
-            payload.a,
-            payload.b,
-            ctx.children_r(payload.a),
-            ctx.children_s(payload.b),
-            axis_limit=limit,
-            real_limit=limit,
-            emit=emit,
-        )
-        while output:
-            yield output.pop()
+    tracer = ctx.instr.tracer
+    metrics = ctx.instr.metrics
+    result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    tracer.begin("join:within", dmax=dmax)
+    tracer.begin("stage:traversal")
+    batch = tracer.batcher("expand")
+    produced = 0
+    try:
+        while stack:
+            payload = stack.pop()
+            children_r = ctx.children_r(payload.a)
+            children_s = ctx.children_s(payload.b)
+            sweeper.expand(
+                payload.a,
+                payload.b,
+                children_r,
+                children_s,
+                axis_limit=limit,
+                real_limit=limit,
+                emit=emit,
+            )
+            batch.tick(children=len(children_r) + len(children_s))
+            while output:
+                pair = output.pop()
+                produced += 1
+                if result_hist is not None:
+                    result_hist.observe(pair.distance)
+                yield pair
+    finally:
+        # Close the spans even when the consumer abandons the stream
+        # (sj_sort stops at k results) so partial traces stay nested.
+        batch.flush()
+        tracer.end("stage:traversal")
+        tracer.end("join:within", results=produced)
 
 
 def sj_sort(
@@ -74,18 +95,24 @@ def sj_sort(
         raise ValueError("k must be positive")
     sorter = ExternalSorter(ctx.disk, ctx.queue_memory)
     candidates = 0
+    source = spatial_join_within(ctx, dmax)
 
     def keyed() -> Iterator[tuple[float, ResultPair]]:
         nonlocal candidates
-        for pair in spatial_join_within(ctx, dmax):
+        for pair in source:
             candidates += 1
             yield (pair.distance, pair)
 
     results: list[ResultPair] = []
-    for _, pair in sorter.sort(keyed()):
-        results.append(pair)
-        if len(results) == k:
-            break
+    try:
+        for _, pair in sorter.sort(keyed()):
+            results.append(pair)
+            if len(results) == k:
+                break
+    finally:
+        # Explicit close (not GC) so the traversal's trace spans end
+        # before the stats snapshot and the run's tracer close.
+        source.close()
 
     stats = ctx.make_stats("sj-sort", k, len(results))
     # SJ-SORT has no priority queue; report sort-record traffic in the

@@ -15,14 +15,18 @@ through, so no metric can silently drift out of sync with the code.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.geometry.distances import axis_distance, min_distance
 from repro.geometry.rect import Rect
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import SimulatedDisk
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import NullTracer, Tracer
     from repro.rtree.tree import TreeAccessor
 
 
@@ -105,7 +109,14 @@ class JoinStats:
                 self.extra[key] = value
 
     def as_row(self) -> dict[str, float]:
-        """Flat dictionary for table printing and regression baselines."""
+        """Flat dictionary for table printing and regression baselines.
+
+        Covers every scalar field — including the Figure 13 queue
+        metrics (splits, swap-ins, spilled entries, peak size) and the
+        Figure 14 adaptive ones (compensation stages/peak, the initial
+        eDmax estimate) — so baselines built on rows see regressions in
+        the multi-stage machinery, not just the flat totals.
+        """
         return {
             "algorithm": self.algorithm,
             "k": self.k,
@@ -113,10 +124,18 @@ class JoinStats:
             "dist_comps": self.real_distance_computations,
             "axis_comps": self.axis_distance_computations,
             "queue_insertions": self.queue_insertions,
+            "distance_queue_insertions": self.distance_queue_insertions,
             "node_accesses": self.node_accesses,
             "node_accesses_unbuffered": self.node_accesses_unbuffered,
             "response_time": self.response_time,
             "wall_time": self.wall_time,
+            "queue_peak_size": self.queue_peak_size,
+            "queue_splits": self.queue_splits,
+            "queue_swap_ins": self.queue_swap_ins,
+            "queue_spilled_entries": self.queue_spilled_entries,
+            "compensation_stages": self.compensation_stages,
+            "compensation_peak": self.compensation_peak,
+            "edmax_initial": self.edmax_initial,
         }
 
 
@@ -134,6 +153,8 @@ class Instruments:
         disk: SimulatedDisk,
         accessor_r: "TreeAccessor",
         accessor_s: "TreeAccessor",
+        tracer: "Tracer | NullTracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.disk = disk
         self.accessor_r = accessor_r
@@ -141,6 +162,12 @@ class Instruments:
         self.real_distance_computations = 0
         self.axis_distance_computations = 0
         self.main_queue = None  # attached by JoinContext once built
+        # Observability rides the same choke point as the counters: the
+        # engines read the tracer and registry from here, so a run's
+        # trace can never describe a different environment than its
+        # stats.  Both default off (no-op tracer, no registry).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def attach_queue(self, queue) -> None:
         """Register the main queue whose counters :meth:`fill` snapshots.
@@ -175,8 +202,6 @@ class Instruments:
     def charge_sort(self, n: int) -> None:
         """Charge CPU for sorting ``n`` child entries before a sweep."""
         if n > 1:
-            import math
-
             self.disk.charge_cpu(
                 self.disk.cost_model.cpu_sort_per_element * n * math.log2(n)
             )
@@ -203,3 +228,7 @@ class Instruments:
             stats.queue_splits = queue_stats.splits
             stats.queue_swap_ins = queue_stats.swap_ins
             stats.queue_spilled_entries = queue_stats.spilled_entries
+        if self.metrics is not None:
+            # Snapshot fields are all sum-mergeable by construction, so
+            # JoinStats.merge aggregates worker registries correctly.
+            stats.extra.update(self.metrics.snapshot())

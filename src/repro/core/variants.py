@@ -29,18 +29,26 @@ def within_distance_join(
     dmax: float,
     config: JoinConfig | None = None,
     order: str = "none",
+    tracer=None,
+    metrics=None,
 ) -> JoinResult:
     """All object pairs with ``dist(r, s) <= dmax``.
 
     ``order`` is ``"none"`` (traversal order, cheapest), or
     ``"distance"`` (ascending, via an in-memory sort — the result is
-    materialized either way).
+    materialized either way).  ``tracer``/``metrics`` plug the run into
+    an externally-owned observability pipeline (the parallel engine's
+    workers trace through here).
     """
     if dmax < 0:
         raise ValueError("dmax must be non-negative")
     if order not in ("none", "distance"):
         raise ValueError("order must be 'none' or 'distance'")
     cfg = config or JoinConfig()
+    if metrics is None and (tracer is not None or cfg.collect_metrics):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     ctx = JoinContext(
         tree_r,
         tree_s,
@@ -49,6 +57,8 @@ def within_distance_join(
         cost_model=cfg.cost_model,
         rho=cfg.rho,
         options=cfg.engine_options(),
+        tracer=tracer,
+        metrics=metrics,
     )
     started = time.perf_counter()
     try:

@@ -1,0 +1,53 @@
+"""Observability for join runs: structured traces and a metrics registry.
+
+The subsystem has three layers, all optional and all off by default:
+
+- :mod:`repro.obs.tracer` — the event tracer (nested spans, point
+  events, counters) with the zero-overhead :data:`NULL_TRACER` default;
+- :mod:`repro.obs.sinks` — JSONL streaming, Chrome ``trace_event``
+  export (``chrome://tracing`` / Perfetto) and in-memory collection;
+- :mod:`repro.obs.metrics` — counters/gauges/histograms whose snapshot
+  lands in ``JoinStats.extra`` and therefore merges across workers.
+
+Wiring: ``JoinConfig(trace_path=...)`` (or ``--trace`` on the CLI)
+builds a tracer per run; ``JoinContext`` hands it to the
+``Instruments`` choke point and the main queue, and the engines emit
+through it.  ``python -m repro trace FILE`` renders a recorded trace
+(:mod:`repro.obs.report`).  The event schema is documented in
+``docs/internals.md``.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageMeter,
+)
+from repro.obs.report import load_trace, render_report
+from repro.obs.sinks import ChromeTraceSink, CollectSink, JsonlSink, open_sink
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanBatcher, Tracer
+
+__all__ = [
+    "ChromeTraceSink",
+    "CollectSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanBatcher",
+    "StageMeter",
+    "Tracer",
+    "load_trace",
+    "open_sink",
+    "render_report",
+    "tracer_for",
+]
+
+
+def tracer_for(path, fmt=None, track: int = 0) -> Tracer:
+    """A tracer writing to ``path`` (format inferred from extension)."""
+    return Tracer([open_sink(path, fmt)], track=track)

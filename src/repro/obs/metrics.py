@@ -1,0 +1,190 @@
+"""Metrics registry: counters, gauges and histograms for join runs.
+
+Where the tracer answers *when*, the registry answers *how much* — and
+folds into the existing metric plumbing instead of adding a second one:
+:meth:`MetricsRegistry.snapshot` flattens every instrument into numeric
+``name.field`` keys that :meth:`Instruments.fill` merges into
+``JoinStats.extra``, so ``JoinStats.merge`` aggregates worker registries
+and the regression baselines see the new numbers for free.
+
+Because merged ``extra`` values are *summed* key-wise, every snapshot
+field is chosen to be sum-mergeable: counters and gauges export their
+value, histograms export ``count``, ``sum`` and per-bucket counts (all
+additive) — means and distributions are derived at render time.
+
+Histograms bucket by power of two (``frexp`` exponent), which covers
+result distances and queue depths across many orders of magnitude with
+no prior knowledge of scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StageMeter"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.name: self.value}
+
+
+class Gauge:
+    """A value that goes up and down; exports the last set value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict[str, float]:
+        return {self.name: self.value}
+
+
+class Histogram:
+    """Power-of-two bucketed distribution of observed values.
+
+    Bucket ``e`` counts observations in ``[2^(e-1), 2^e)`` (``frexp``
+    exponent); zero and negative observations land in a dedicated
+    ``zero`` bucket.  Exports only additive fields — ``count``, ``sum``
+    and the bucket counts — so merged snapshots are exact.
+    """
+
+    __slots__ = ("name", "count", "total", "zero", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.zero = 0
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value <= 0.0 or not math.isfinite(value):
+            self.zero += 1
+            return
+        exponent = math.frexp(value)[1]
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        out = {
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.sum": self.total,
+        }
+        if self.zero:
+            out[f"{self.name}.le_zero"] = float(self.zero)
+        for exponent, count in sorted(self.buckets.items()):
+            out[f"{self.name}.bucket_e{exponent}"] = float(count)
+        return out
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted flat.
+
+    One registry serves one join run; the parallel engine gives each
+    worker its own and relies on the sum-mergeable snapshot fields.
+    """
+
+    def __init__(self, prefix: str = "obs") -> None:
+        self._prefix = prefix
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, kind: type, name: str) -> Counter | Gauge | Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(f"{self._prefix}.{name}")
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(Counter, name)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(Gauge, name)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(Histogram, name)  # type: ignore[return-value]
+
+    def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._instruments.values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``prefix.name[.field] -> value`` dict, all sum-mergeable."""
+        out: dict[str, float] = {}
+        for instrument in self._instruments.values():
+            out.update(instrument.snapshot())
+        return out
+
+
+class StageMeter:
+    """Per-stage deltas of the ``Instruments`` work counters.
+
+    The aggregate counters tell you a run did N distance computations;
+    the paper's Figures 14–15 need them *attributed to stages*.  Engines
+    call :meth:`stage_end` at every stage boundary; the meter diffs the
+    instrument counters against the previous boundary, records the
+    deltas as ``stage.<name>.*`` counters and emits one trace counter
+    event, so both the metrics snapshot and the timeline carry the
+    breakdown.
+    """
+
+    __slots__ = ("_instr", "_last")
+
+    def __init__(self, instr) -> None:
+        self._instr = instr
+        self._last = self._snap()
+
+    def _snap(self) -> dict[str, float]:
+        instr = self._instr
+        return {
+            "dist_comps": instr.real_distance_computations,
+            "axis_comps": instr.axis_distance_computations,
+            "node_accesses": (
+                instr.accessor_r.physical_reads + instr.accessor_s.physical_reads
+            ),
+            "node_accesses_unbuffered": (
+                instr.accessor_r.logical_accesses + instr.accessor_s.logical_accesses
+            ),
+            "sim_time": instr.disk.clock,
+        }
+
+    def stage_end(self, stage: str) -> dict[str, float]:
+        """Close the current stage; record and return its work deltas."""
+        now = self._snap()
+        delta = {key: now[key] - self._last[key] for key in now}
+        self._last = now
+        metrics = self._instr.metrics
+        if metrics is not None:
+            for key, value in delta.items():
+                metrics.counter(f"stage.{stage}.{key}").inc(value)
+        tracer = self._instr.tracer
+        if tracer.enabled:
+            tracer.counter(f"stage:{stage}", **delta)
+        return delta

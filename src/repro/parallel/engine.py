@@ -49,6 +49,8 @@ from repro.core.pairs import ResultPair
 from repro.core.stats import JoinStats
 from repro.core import estimation
 from repro.geometry.rect import Rect
+from repro.obs.sinks import CollectSink
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.merge import GlobalBound, merge_topk, pair_key
 from repro.parallel.partition import (
     Partition,
@@ -88,8 +90,8 @@ _SWEEP_ALGORITHMS = frozenset({"amkdj", "amidj"})
 
 def _run_partition(
     task: dict[str, Any], live_bound: GlobalBound | None = None
-) -> tuple[list[ResultPair], float, bool, JoinStats]:
-    """Join one partition; returns (results, cap_used, exhausted, stats).
+) -> tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]:
+    """Join one partition; returns (results, cap_used, exhausted, stats, trace).
 
     ``results`` are sorted by :func:`pair_key` and contain every
     partition pair with distance ``<= cap_used`` (``exhausted`` means
@@ -97,6 +99,13 @@ def _run_partition(
     worker that stops at its k-th result reports ``cap_used = inf``:
     withholding pairs beyond the local top-k is always safe because a
     global top-k never needs more than k pairs from one partition.
+
+    When ``task["trace"]`` is set the worker runs under a collecting
+    tracer and ``trace`` carries its records home:
+    ``{"track", "origin", "events"}`` — the parent re-emits the events
+    on track ``index + 1`` with timestamps shifted onto its own clock
+    (``origin`` is the worker's ``time.time()`` at ts 0; perf-counter
+    origins are not comparable across processes, the epoch clock is).
     """
     from repro.core.api import JoinConfig, JoinRunner  # local: avoid cycle
 
@@ -119,13 +128,20 @@ def _run_partition(
     config: JoinConfig = task["config"]
     k: int = task["k"]
     algorithm: str = task["algorithm"]
-    runner = JoinRunner(tree_r, tree_s, config)
+    collector: CollectSink | None = None
+    worker_tracer: Tracer | None = None
+    if task.get("trace"):
+        collector = CollectSink()
+        worker_tracer = Tracer([collector])
+    runner = JoinRunner(tree_r, tree_s, config, tracer=worker_tracer)
 
     if algorithm in _SWEEP_ALGORITHMS:
         from repro.core.variants import within_distance_join
 
         cap = cap_now()
-        joined = within_distance_join(tree_r, tree_s, cap, config)
+        joined = within_distance_join(
+            tree_r, tree_s, cap, config, tracer=worker_tracer
+        )
         results = sorted(joined.results, key=pair_key)
         if len(results) > k:
             # Keep the local top-k plus its full tie block: withholding
@@ -152,7 +168,15 @@ def _run_partition(
 
     results.sort(key=pair_key)
     stats.results = len(results)
-    return results, cap_used, exhausted, stats
+    trace: dict[str, Any] | None = None
+    if worker_tracer is not None and collector is not None:
+        worker_tracer.close()
+        trace = {
+            "track": task["index"] + 1,
+            "origin": worker_tracer.epoch_origin,
+            "events": collector.records,
+        }
+    return results, cap_used, exhausted, stats, trace
 
 
 def _make_task(
@@ -165,6 +189,7 @@ def _make_task(
     dmax: float | None,
     page_size: int,
     max_entries: int,
+    trace: bool = False,
 ) -> dict[str, Any]:
     return {
         "index": partition.index,
@@ -177,6 +202,7 @@ def _make_task(
         "dmax": dmax,
         "page_size": page_size,
         "max_entries": max_entries,
+        "trace": trace,
     }
 
 
@@ -187,7 +213,7 @@ def _make_task(
 
 def _dispatch_serial(
     tasks: list[dict[str, Any]], bound: GlobalBound, delta: float, workers: int
-) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats]]:
+) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]]:
     for task in tasks:
         task["cap"] = min(task["cap"], delta)
         yield _run_partition(task, live_bound=bound)
@@ -199,7 +225,7 @@ def _dispatch_pool(
     delta: float,
     workers: int,
     mode: str,
-) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats]]:
+) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]]:
     """Wave submission: at most ``workers`` in flight; each new
     submission carries the freshest bound snapshot as its cap."""
     if mode == "thread":
@@ -296,69 +322,111 @@ def parallel_kdj(
         raise ValueError(
             f"unknown parallel_mode {mode!r}; pick 'process', 'thread' or 'serial'"
         )
+    tracer = NULL_TRACER
+    owned_tracer: Tracer | None = None
+    if config.trace_path is not None:
+        from repro.obs import tracer_for
+
+        tracer = owned_tracer = tracer_for(config.trace_path, config.trace_format)
+    # Workers must not open the parent's trace file: they trace into
+    # collecting sinks shipped back with their results instead.
+    worker_config = (
+        replace(sequential_config, trace_path=None, trace_format=None)
+        if tracer.enabled
+        else sequential_config
+    )
     final: list[ResultPair] = []
     stages = 0
-    while True:
-        stages += 1
-        # Fresh bound per stage: within one stage every pair is offered
-        # exactly once (R objects are never replicated), which keeps the
-        # cutoff a true upper bound on the k-th distance.  Re-running
-        # partitions in a retry stage would offer the same distances
-        # again and deflate a carried-over cutoff below the k-th.
-        bound = GlobalBound(k)
-        assigned = assign_s_items(partitions, s_items, delta)
-        tasks = [
-            _make_task(
-                partition,
-                assigned[partition.index],
-                k,
-                delta,
-                algorithm,
-                sequential_config,
-                dmax,
-                tree_r.page_size,
-                tree_r.max_entries,
-            )
-            for partition in partitions
-        ]
-        runs: list[list[ResultPair]] = []
-        caps: list[float] = []
-        all_exhausted = True
-        if mode == "serial":
-            outcomes = _dispatch_serial(tasks, bound, delta, workers)
-        else:
-            outcomes = _dispatch_pool(tasks, bound, delta, workers, mode)
-        for results, cap_used, exhausted, stats in outcomes:
-            if mode == "serial":
-                bound.offer(pair.distance for pair in results[:k])
-            runs.append(results)
-            caps.append(cap_used)
-            all_exhausted = all_exhausted and exhausted
-            total.merge(stats)
-        final = merge_topk(runs, k)
-        # A worker's cap bounds what it computed; the strip width bounds
-        # what it even *saw* (S replication stops at delta).  Both limit
-        # how far the merged answer is known to be complete — except
-        # when delta already covers the whole space, at which point
-        # replication is total and exhausted workers prove completeness.
-        replication_complete = delta >= delta_max
-        min_cap = min(
-            [math.inf if replication_complete else delta, *caps]
+    try:
+        tracer.begin(
+            f"join:parallel-{algorithm}",
+            k=k,
+            workers=workers,
+            partitions=len(partitions),
+            mode=mode,
         )
-        if (all_exhausted and replication_complete) or (
-            len(final) == k and final[-1].distance <= min_cap
-        ):
-            break
-        if replication_complete:
-            # Full replication and still fewer than k pairs under the
-            # cap: the cap can only be finite once k real distances were
-            # seen, so fewer than k pairs exist globally — the sweep at
-            # the space diameter already enumerated all of them.
-            break
-        # The merged k-th distance (when known) is a lower bound on the
-        # strip width that can succeed; never grow by less than 2x.
-        needed = final[-1].distance if len(final) == k else 0.0
-        delta = min(delta_max, max(delta * 2.0, needed))
+        while True:
+            stages += 1
+            stage_name = f"stage:parallel-{stages}"
+            tracer.begin(stage_name, delta=delta)
+            # Fresh bound per stage: within one stage every pair is offered
+            # exactly once (R objects are never replicated), which keeps the
+            # cutoff a true upper bound on the k-th distance.  Re-running
+            # partitions in a retry stage would offer the same distances
+            # again and deflate a carried-over cutoff below the k-th.
+            bound = GlobalBound(k)
+            assigned = assign_s_items(partitions, s_items, delta)
+            tasks = [
+                _make_task(
+                    partition,
+                    assigned[partition.index],
+                    k,
+                    delta,
+                    algorithm,
+                    worker_config,
+                    dmax,
+                    tree_r.page_size,
+                    tree_r.max_entries,
+                    trace=tracer.enabled,
+                )
+                for partition in partitions
+            ]
+            runs: list[list[ResultPair]] = []
+            caps: list[float] = []
+            all_exhausted = True
+            if mode == "serial":
+                outcomes = _dispatch_serial(tasks, bound, delta, workers)
+            else:
+                outcomes = _dispatch_pool(tasks, bound, delta, workers, mode)
+            for results, cap_used, exhausted, stats, trace in outcomes:
+                if mode == "serial":
+                    bound.offer(pair.distance for pair in results[:k])
+                runs.append(results)
+                caps.append(cap_used)
+                all_exhausted = all_exhausted and exhausted
+                total.merge(stats)
+                if trace is not None and tracer.enabled:
+                    # Re-emit the worker's records on its own track,
+                    # shifted from the worker's clock onto the parent's
+                    # via the shared epoch clock.
+                    shift = trace["origin"] - tracer.epoch_origin
+                    for record in trace["events"]:
+                        shifted = dict(record)
+                        shifted["ts"] = shifted["ts"] + shift
+                        shifted["track"] = trace["track"]
+                        tracer.emit(shifted)
+            final = merge_topk(runs, k)
+            tracer.end(stage_name, results=len(final))
+            # A worker's cap bounds what it computed; the strip width bounds
+            # what it even *saw* (S replication stops at delta).  Both limit
+            # how far the merged answer is known to be complete — except
+            # when delta already covers the whole space, at which point
+            # replication is total and exhausted workers prove completeness.
+            replication_complete = delta >= delta_max
+            min_cap = min(
+                [math.inf if replication_complete else delta, *caps]
+            )
+            if (all_exhausted and replication_complete) or (
+                len(final) == k and final[-1].distance <= min_cap
+            ):
+                break
+            if replication_complete:
+                # Full replication and still fewer than k pairs under the
+                # cap: the cap can only be finite once k real distances were
+                # seen, so fewer than k pairs exist globally — the sweep at
+                # the space diameter already enumerated all of them.
+                break
+            # The merged k-th distance (when known) is a lower bound on the
+            # strip width that can succeed; never grow by less than 2x.
+            needed = final[-1].distance if len(final) == k else 0.0
+            new_delta = min(delta_max, max(delta * 2.0, needed))
+            if tracer.enabled:
+                tracer.event("delta_widen", old=delta, new=new_delta, needed=needed)
+            delta = new_delta
+        tracer.end(f"join:parallel-{algorithm}", results=len(final), stages=stages)
+    finally:
+        if owned_tracer is not None:
+            owned_tracer.close()
 
     total.results = len(final)
     total.wall_time = time.perf_counter() - started
@@ -390,6 +458,9 @@ class ParallelIncrementalJoin:
     compensation state), which trades total work for the partition-local
     pruning — appropriate for the interactive paging pattern where only
     a few batches are ever pulled.
+
+    With ``config.trace_path`` set, every stage rewrites the trace file,
+    so after the stream ends it holds the last (largest-k) stage's run.
     """
 
     def __init__(

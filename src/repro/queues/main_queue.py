@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.obs.tracer import NULL_TRACER
 from repro.queues.binary_heap import MinHeap
 from repro.storage.disk import SimulatedDisk
 
@@ -169,6 +170,11 @@ class MainQueue:
         self._mem_bound = self._boundary(1)
         self.stats = QueueStats()
         self._size = 0
+        # Observability hooks (see repro.obs): the no-op tracer makes
+        # the per-event guards one attribute check; the depth histogram
+        # is sampled on every insert/pop only when a registry is set.
+        self.tracer = NULL_TRACER
+        self._depth_hist = None
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         if self._spill_dir is not None:
             self._spill_dir.mkdir(parents=True, exist_ok=True)
@@ -181,6 +187,19 @@ class MainQueue:
     def capacity(self) -> int:
         """Entries the in-memory heap can hold."""
         return self._capacity
+
+    def set_observer(self, tracer, metrics) -> None:
+        """Attach the run's tracer and metrics registry (both optional).
+
+        Called by ``JoinContext`` right after construction; the queue
+        then emits ``queue_split``/``queue_spill``/``queue_swap_in``
+        point events and samples its depth into the ``queue_depth``
+        histogram on every insert and pop.
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._depth_hist = (
+            metrics.histogram("queue_depth") if metrics is not None else None
+        )
 
     def close(self) -> None:
         """Release on-disk resources: unlink every live spill file.
@@ -226,12 +245,20 @@ class MainQueue:
             # amortized cost is one sequential page per page of entries.
             if segment.staged_since_flush >= self._entries_per_page():
                 self._disk.sequential_write(1)
+                flushed = segment.staged_since_flush
                 segment.staged_since_flush = 0
                 if self._spill_dir is not None:
                     segment.spill_to(self._new_spill_path(), segment.entries)
                     segment.entries = []
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "queue_spill", entries=flushed,
+                        segment_lo=segment.lo, segment_total=segment.total(),
+                    )
         if self._size > self.stats.peak_size:
             self.stats.peak_size = self._size
+        if self._depth_hist is not None:
+            self._depth_hist.observe(self._size)
 
     def pop(self) -> tuple[float, Any]:
         """Remove and return the globally smallest ``(distance, payload)``."""
@@ -240,6 +267,8 @@ class MainQueue:
         self.stats.pops += 1
         self._size -= 1
         self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
+        if self._depth_hist is not None:
+            self._depth_hist.observe(self._size)
         return self._heap.pop()
 
     def peek_key(self) -> float:
@@ -368,6 +397,11 @@ class MainQueue:
         self.stats.spilled_entries += len(moved)
         self._split_segments.insert(0, segment)
         self._disk.sequential_write(self._pages_for(len(moved)))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "queue_split", moved=len(moved), kept=keep,
+                new_bound=self._mem_bound,
+            )
 
     def _next_segment(self) -> _Segment | None:
         """The nearest non-empty segment, dropping exhausted ones."""
@@ -390,6 +424,11 @@ class MainQueue:
             raise IndexError("pop from empty MainQueue")
         self.stats.swap_ins += 1
         entries = segment.load_all() if self._spill_dir is not None else segment.entries
+        if self.tracer.enabled:
+            self.tracer.event(
+                "queue_swap_in", entries=len(entries),
+                segment_lo=segment.lo, overflow=len(entries) > self._capacity,
+            )
         self._disk.sequential_read(self._pages_for(len(entries)))
         self._charge_sort(len(entries))
         if len(entries) <= self._capacity:

@@ -135,7 +135,78 @@ class TestJoinStatsHelpers:
         row = JoinStats(algorithm="x", k=3).as_row()
         assert set(row) >= {"algorithm", "k", "dist_comps", "response_time"}
 
+    def test_as_row_covers_queue_and_adaptive_fields(self):
+        row = JoinStats(
+            distance_queue_insertions=7,
+            queue_peak_size=40,
+            queue_splits=2,
+            queue_swap_ins=3,
+            queue_spilled_entries=100,
+            compensation_stages=1,
+            compensation_peak=9,
+            edmax_initial=12.5,
+        ).as_row()
+        assert row["distance_queue_insertions"] == 7
+        assert row["queue_peak_size"] == 40
+        assert row["queue_splits"] == 2
+        assert row["queue_swap_ins"] == 3
+        assert row["queue_spilled_entries"] == 100
+        assert row["compensation_stages"] == 1
+        assert row["compensation_peak"] == 9
+        assert row["edmax_initial"] == 12.5
+
     def test_extra_dict_isolated(self):
         a, b = JoinStats(), JoinStats()
         a.extra["x"] = 1.0
         assert "x" not in b.extra
+
+    def test_merge_sums_counters_and_maxes_peaks(self):
+        a = JoinStats(results=3, queue_splits=1, queue_peak_size=10,
+                      compensation_peak=5, wall_time=1.0, edmax_initial=2.0)
+        b = JoinStats(results=4, queue_splits=2, queue_peak_size=7,
+                      compensation_peak=9, wall_time=0.5, edmax_initial=3.0)
+        a.merge(b)
+        assert a.results == 7
+        assert a.queue_splits == 3
+        assert a.queue_peak_size == 10
+        assert a.compensation_peak == 9
+        assert a.wall_time == 1.0
+        assert a.edmax_initial == 3.0
+
+    def test_merge_into_fresh_record(self):
+        fresh = JoinStats(algorithm="parallel-amkdj", k=5)
+        worker = JoinStats(algorithm="amkdj", k=5, results=5,
+                           real_distance_computations=100, queue_insertions=50)
+        worker.extra["obs.result_distance.count"] = 5.0
+        fresh.merge(worker)
+        assert fresh.algorithm == "parallel-amkdj"  # keeps its own identity
+        assert fresh.results == 5
+        assert fresh.real_distance_computations == 100
+        assert fresh.extra["obs.result_distance.count"] == 5.0
+
+    def test_merge_zero_activity_worker_is_identity(self):
+        total = JoinStats(results=9, real_distance_computations=42,
+                          queue_peak_size=6, wall_time=2.0)
+        total.extra["obs.queue_depth.sum"] = 17.0
+        before = dict(total.as_row())
+        before_extra = dict(total.extra)
+        total.merge(JoinStats())  # a worker whose partition was empty
+        assert total.as_row() == before
+        assert total.extra == before_extra
+
+    def test_merge_mixed_type_extras(self):
+        a = JoinStats()
+        a.extra.update({"count": 2.0, "mode": "thread"})
+        b = JoinStats()
+        b.extra.update({"count": 3.0, "mode": "process", "only_b": 1.0})
+        a.merge(b)
+        assert a.extra["count"] == 5.0          # numeric: summed
+        assert a.extra["mode"] == "process"     # label: other wins
+        assert a.extra["only_b"] == 1.0
+        # numeric-vs-string conflict: the other record's value replaces
+        c = JoinStats()
+        c.extra["x"] = 1.0
+        d = JoinStats()
+        d.extra["x"] = "label"
+        c.merge(d)
+        assert c.extra["x"] == "label"

@@ -78,6 +78,33 @@ def test_queue_boundaries_prevent_splits(mini_setup):
     assert stats["bkdj"].queue_splits == 0  # Eq. 3 boundaries pre-placed
 
 
+def test_as_row_reports_queue_and_adaptive_telemetry(mini_setup):
+    """The regression row must expose the multi-stage machinery.
+
+    A change that silently stops populating the Figure 13/14 fields
+    (queue spill traffic, compensation, the initial estimate) would
+    otherwise look like a perfect score.
+    """
+    _, stats, _ = mini_setup
+    required = {
+        "distance_queue_insertions", "queue_peak_size", "queue_splits",
+        "queue_swap_ins", "queue_spilled_entries", "compensation_stages",
+        "compensation_peak", "edmax_initial",
+    }
+    for alg in ("hs", "bkdj", "amkdj"):
+        row = stats[alg].as_row()
+        assert required <= set(row), f"{alg} row missing {required - set(row)}"
+    amkdj = stats["amkdj"].as_row()
+    # AM-KDJ always starts from an Equation (3) estimate...
+    assert amkdj["edmax_initial"] > 0
+    # ...while the non-adaptive engines never run compensation.
+    assert stats["bkdj"].as_row()["compensation_stages"] == 0
+    assert stats["hs"].as_row()["compensation_stages"] == 0
+    for alg in ("hs", "bkdj", "amkdj"):
+        assert stats[alg].as_row()["queue_peak_size"] > 0
+        assert stats[alg].as_row()["distance_queue_insertions"] > 0
+
+
 def test_response_time_ordering(mini_setup):
     """AM-KDJ never loses to B-KDJ on response time (paper Section 5.6).
 

@@ -37,6 +37,17 @@ from repro.parallel.engine import (
 )
 from repro.core.stats import JoinStats
 from repro.geometry.rect import Rect
+from repro.resilience import (
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    JoinDeadlineExceeded,
+    PartitionFailedError,
+    ReproError,
+    SpillCorruptionError,
+    SpillError,
+)
 from repro.rtree.tree import RTree
 from repro.storage.cost import CostModel
 
@@ -44,11 +55,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CostModel",
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
     "IncrementalJoin",
     "JoinConfig",
+    "JoinDeadlineExceeded",
     "JoinResult",
     "JoinRunner",
     "JoinStats",
+    "PartitionFailedError",
+    "ReproError",
+    "SpillCorruptionError",
+    "SpillError",
     "ParallelIncrementalJoin",
     "parallel_incremental_join",
     "parallel_kdj",

@@ -29,6 +29,8 @@ import sys
 
 from repro import JoinConfig, JoinRunner, RTree
 from repro.datagen.tiger import synthetic_tiger
+from repro.resilience.errors import ReproError
+from repro.resilience.faults import FaultPlan
 from repro.workloads import experiments
 from repro.workloads.tables import print_table
 
@@ -62,13 +64,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_join(args: argparse.Namespace) -> int:
     tree_r = RTree.load(args.tree_r)
     tree_s = RTree.load(args.tree_s)
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
     config = JoinConfig(
         queue_memory=args.queue_kb * 1024,
         buffer_memory=args.buffer_kb * 1024,
         parallel=args.parallel,
+        spill_dir=pathlib.Path(args.spill_dir) if args.spill_dir else None,
         trace_path=args.trace,
         trace_format=args.trace_format,
         collect_metrics=args.json,
+        deadline_s=args.deadline,
+        worker_timeout_s=args.worker_timeout,
+        worker_retries=args.worker_retries,
+        retry_backoff_s=args.retry_backoff,
+        fault_plan=fault_plan,
     )
     runner = JoinRunner(tree_r, tree_s, config)
     result = runner.kdj(args.k, args.algorithm)
@@ -147,6 +158,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result rows to print")
     join.add_argument("--parallel", type=int, default=1,
                       help="worker count for the partitioned engine")
+    join.add_argument("--spill-dir", metavar="DIR", default=None,
+                      help="directory for real main-queue spill files "
+                           "(default: simulated spill only)")
+    join.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                      help="cooperative wall-clock budget; exceeding it "
+                           "aborts the join with exit code 75")
+    join.add_argument("--worker-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-partition-worker timeout for the parallel "
+                           "engine (default: no timeout)")
+    join.add_argument("--worker-retries", type=int, default=2,
+                      help="retries per failed partition worker before "
+                           "degrading to in-process execution (default 2)")
+    join.add_argument("--retry-backoff", type=float, default=0.05,
+                      metavar="SECONDS",
+                      help="base delay of the exponential retry backoff")
+    join.add_argument("--inject-faults", metavar="SPEC", default=None,
+                      help="deterministic fault injection, e.g. "
+                           "'worker_crash:@1,seed=7' or 'spill_write:@0' "
+                           "(sites: worker_crash, worker_kill, worker_stall, "
+                           "spill_write, spill_read)")
     join.add_argument("--trace", metavar="PATH", default=None,
                       help="record a structured event trace (JSONL, or a "
                            "Chrome trace_event JSON for .json paths)")
@@ -179,6 +211,11 @@ def main(argv: list[str] | None = None) -> int:
         # Output piped into head/less and closed early: not an error.
         sys.stderr.close()
         return 0
+    except ReproError as exc:
+        # Typed library failures: one clean line, distinct exit code —
+        # arbitrary bugs still traceback.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

@@ -144,8 +144,10 @@ def amidj(
         tracer.begin(stage_name, edmax=new_edmax)
         return new_edmax
 
+    deadline = ctx.deadline
     try:
         while True:
+            deadline.tick()
             if not queue:
                 if not records:
                     return  # dataset exhausted: every pair has been produced

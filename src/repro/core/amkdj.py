@@ -124,7 +124,9 @@ def amkdj(
     batch = tracer.batcher("expand")
     estimate_active = True  # until line 8 replaces eDmax with qDmax
     need_compensation = False
+    deadline = ctx.deadline
     while len(results) < k and queue:
+        deadline.tick()
         distance, payload = queue.pop()
         if distance > min_unsafe_cutoff:
             # Line 9 (corrected): anything at this distance — including an
@@ -195,6 +197,7 @@ def amkdj(
         for record in comp_queue.drain():
             queue.insert(record.distance, PairPayload(record.a, record.b, record))
         while len(results) < k and queue:
+            deadline.tick()
             distance, payload = queue.pop()
             if payload.is_object_pair:
                 results.append(ResultPair(distance, payload.a.ref, payload.b.ref))

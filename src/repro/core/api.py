@@ -34,6 +34,8 @@ from repro.core import sjsort as sjsort_mod
 from repro.core.base import EngineOptions, JoinContext
 from repro.core.pairs import ResultPair
 from repro.core.stats import JoinStats
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultPlan
 from repro.rtree.tree import RTree
 from repro.storage.cost import (
     CostModel,
@@ -68,6 +70,19 @@ class JoinConfig:
     enables the metrics registry (result-distance and queue-depth
     histograms, per-stage work deltas) whose snapshot lands in
     ``JoinStats.extra``; tracing implies it.
+
+    Resilience knobs (:mod:`repro.resilience`): ``deadline_s`` bounds a
+    run's wall time — every engine's expansion loop checks it
+    cooperatively and raises the typed
+    :class:`~repro.resilience.errors.JoinDeadlineExceeded` on expiry.
+    ``worker_timeout_s`` bounds one partition worker of the parallel
+    engine; a worker that crashes or times out is retried up to
+    ``worker_retries`` times (exponential backoff from
+    ``retry_backoff_s``) and then degrades to in-process serial
+    execution, so the partitioned join returns the same answer or a
+    typed error — never a silently incomplete top-k.  ``fault_plan``
+    arms the deterministic fault-injection harness
+    (:class:`~repro.resilience.faults.FaultPlan`).
     """
 
     queue_memory: int = DEFAULT_QUEUE_MEMORY
@@ -91,6 +106,11 @@ class JoinConfig:
     trace_path: str | None = None
     trace_format: str | None = None
     collect_metrics: bool = False
+    deadline_s: float | None = None
+    worker_timeout_s: float | None = None
+    worker_retries: int = 2
+    retry_backoff_s: float = 0.05
+    fault_plan: "FaultPlan | None" = None
 
     def engine_options(self) -> EngineOptions:
         return EngineOptions(
@@ -163,6 +183,9 @@ class JoinRunner:
 
     def _context(self, tracer=None, metrics=None) -> JoinContext:
         cfg = self.config
+        # A fresh deadline per run: the budget covers one join, not the
+        # runner's lifetime.
+        deadline = Deadline(cfg.deadline_s) if cfg.deadline_s is not None else None
         return JoinContext(
             self.tree_r,
             self.tree_s,
@@ -175,6 +198,8 @@ class JoinRunner:
             spill_dir=cfg.spill_dir,
             tracer=tracer,
             metrics=metrics,
+            deadline=deadline,
+            faults=cfg.fault_plan,
         )
 
     # ------------------------------------------------------------------

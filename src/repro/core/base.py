@@ -16,6 +16,7 @@ from repro.core import estimation
 from repro.core.pairs import Item, PairPayload
 from repro.core.stats import Instruments, JoinStats
 from repro.queues.main_queue import MainQueue
+from repro.resilience.deadline import NULL_DEADLINE
 from repro.rtree.tree import RTree, TreeAccessor
 from repro.storage.cost import (
     CostModel,
@@ -76,6 +77,8 @@ class JoinContext:
         spill_dir: str | None = None,
         tracer=None,
         metrics=None,
+        deadline=None,
+        faults=None,
     ) -> None:
         self.tree_r = tree_r
         self.tree_s = tree_s
@@ -100,11 +103,18 @@ class JoinContext:
         # paper criticizes earlier work for.
         queue_rho = self.rho if model_queue_boundaries else None
         self.main_queue = MainQueue(
-            self.disk, queue_memory, rho=queue_rho, spill_dir=spill_dir
+            self.disk, queue_memory, rho=queue_rho, spill_dir=spill_dir,
+            faults=faults,
         )
         self.instr.attach_queue(self.main_queue)
         self.main_queue.set_observer(self.instr.tracer, self.instr.metrics)
         self.options = options or EngineOptions()
+        # Cooperative deadline: engines call ``ctx.deadline.tick()`` once
+        # per expansion-loop iteration; the no-op default costs one
+        # attribute access, same pattern as the tracer.
+        self.deadline = deadline if deadline is not None else NULL_DEADLINE
+        if deadline is not None:
+            deadline.bind_tracer(self.instr.tracer)
 
     def close(self) -> None:
         """Engine teardown: release the queue's on-disk spill files.

@@ -65,7 +65,9 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     queue.insert(ctx.instr.real_distance(root_r.rect, root_s.rect),
                  PairPayload(root_r, root_s))
 
+    deadline = ctx.deadline
     while len(results) < k and queue:
+        deadline.tick()
         distance, payload = queue.pop()
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))

@@ -54,8 +54,10 @@ def hs_incremental(
     tracer.begin("stage:traversal")
     batch = tracer.batcher("expand")
     produced = 0
+    deadline = ctx.deadline
     try:
         while queue:
+            deadline.tick()
             distance, payload = queue.pop()
             if distance > qdmax():
                 # Everything still queued is at least this far: by the time

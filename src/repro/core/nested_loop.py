@@ -56,9 +56,13 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
     best_i = np.empty(0, dtype=np.int64)
     best_j = np.empty(0, dtype=np.int64)
     total_pairs = 0
+    deadline = ctx.deadline
     for r_start in range(0, len(ids_r), block):
         r_rects = rects_r[r_start : r_start + block]
         for s_start in range(0, len(ids_s), INNER_CHUNK):
+            # One explicit check per vectorized chunk: iterations are few
+            # but heavy, so the strided tick would react too slowly.
+            deadline.check()
             s_rects = rects_s[s_start : s_start + INNER_CHUNK]
             d = _min_distances(r_rects, s_rects)
             total_pairs += d.size

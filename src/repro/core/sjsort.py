@@ -58,8 +58,10 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
     tracer.begin("stage:traversal")
     batch = tracer.batcher("expand")
     produced = 0
+    deadline = ctx.deadline
     try:
         while stack:
+            deadline.tick()
             payload = stack.pop()
             children_r = ctx.children_r(payload.a)
             children_s = ctx.children_s(payload.b)

@@ -228,6 +228,12 @@ class Instruments:
             stats.queue_splits = queue_stats.splits
             stats.queue_swap_ins = queue_stats.swap_ins
             stats.queue_spilled_entries = queue_stats.spilled_entries
+            if queue_stats.spill_write_failures:
+                # extras merge key-wise (summed), so worker failures
+                # aggregate like the other resilience counters.
+                stats.extra["spill_write_failures"] = float(
+                    queue_stats.spill_write_failures
+                )
         if self.metrics is not None:
             # Snapshot fields are all sum-mergeable by construction, so
             # JoinStats.merge aggregates worker registries correctly.

@@ -49,6 +49,8 @@ def within_distance_join(
         from repro.obs.metrics import MetricsRegistry
 
         metrics = MetricsRegistry()
+    from repro.resilience.deadline import Deadline
+
     ctx = JoinContext(
         tree_r,
         tree_s,
@@ -57,8 +59,11 @@ def within_distance_join(
         cost_model=cfg.cost_model,
         rho=cfg.rho,
         options=cfg.engine_options(),
+        spill_dir=cfg.spill_dir,
         tracer=tracer,
         metrics=metrics,
+        deadline=Deadline(cfg.deadline_s) if cfg.deadline_s is not None else None,
+        faults=cfg.fault_plan,
     )
     started = time.perf_counter()
     try:

@@ -39,10 +39,15 @@ is precisely what step 4 verifies.
 from __future__ import annotations
 
 import concurrent.futures
+import heapq
+import itertools
 import math
 import multiprocessing
+import sys
 import time
-from dataclasses import replace
+from collections import Counter
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.pairs import ResultPair
@@ -52,6 +57,9 @@ from repro.geometry.rect import Rect
 from repro.obs.sinks import CollectSink
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.merge import GlobalBound, merge_topk, pair_key
+from repro.resilience.deadline import Deadline
+from repro.resilience.errors import PartitionFailedError, ReproError
+from repro.resilience.faults import trip_worker_faults
 from repro.parallel.partition import (
     Partition,
     RawItem,
@@ -108,6 +116,12 @@ def _run_partition(
     origins are not comparable across processes, the epoch clock is).
     """
     from repro.core.api import JoinConfig, JoinRunner  # local: avoid cycle
+
+    plan = task["config"].fault_plan
+    if plan is not None:
+        # Fire injected worker faults before any real work so a crash
+        # costs nothing but the dispatch round-trip.
+        trip_worker_faults(plan, task["index"])
 
     def cap_now() -> float:
         cap = task["cap"]
@@ -211,12 +225,103 @@ def _make_task(
 # ----------------------------------------------------------------------
 
 
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Start method for process workers: fork on Linux, spawn elsewhere.
+
+    Fork is the cheap path (workers inherit the read-only task data with
+    no re-import), but it is unsafe next to threads on macOS and is no
+    longer the default anywhere but Linux; everywhere else — and on any
+    platform where fork is unavailable — fall back to spawn, which the
+    module-level ``_run_partition`` worker and the picklable task dicts
+    support unchanged.
+    """
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _kill_pool(executor: concurrent.futures.Executor) -> None:
+    """Tear an executor down without waiting on its (possibly wedged) workers."""
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+@dataclass
+class _Attempt:
+    """One partition task's life on the pool: the task plus its failure count."""
+
+    task: dict[str, Any]
+    failures: int = 0
+    started: float = 0.0
+
+
+def _fallback_inline(
+    task: dict[str, Any],
+    bound: GlobalBound,
+    tracer: Tracer,
+    counters: Counter,
+    attempts: int,
+    cause: BaseException | None = None,
+) -> tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]:
+    """Last resort: run the partition in-process, worker faults disarmed.
+
+    The injected worker faults model *worker* failures (crash, kill,
+    stall); the in-process rerun is the recovery path, so it strips them
+    from the plan.  Spill faults stay armed — they model the parent's
+    own environment.  A failure here is real: surface it as the typed
+    :class:`PartitionFailedError` (chained to the cause) instead of
+    whatever the partition engine threw.
+    """
+    fresh = dict(task)
+    config = fresh["config"]
+    if config.fault_plan is not None:
+        fresh["config"] = replace(
+            config, fault_plan=config.fault_plan.without_worker_faults()
+        )
+    counters["worker_fallbacks"] += 1
+    if tracer.enabled:
+        tracer.event(
+            "worker_fallback",
+            partition=fresh["index"],
+            attempts=attempts,
+            cause=type(cause).__name__ if cause is not None else None,
+        )
+    try:
+        return _run_partition(fresh, live_bound=bound)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise PartitionFailedError(fresh["index"], attempts, str(exc)) from (
+            cause or exc
+        )
+
+
 def _dispatch_serial(
-    tasks: list[dict[str, Any]], bound: GlobalBound, delta: float, workers: int
+    tasks: list[dict[str, Any]],
+    bound: GlobalBound,
+    delta: float,
+    workers: int,
+    tracer: Tracer = NULL_TRACER,
+    counters: Counter | None = None,
+    deadline: Deadline | None = None,
 ) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]]:
+    counters = counters if counters is not None else Counter()
     for task in tasks:
         task["cap"] = min(task["cap"], delta)
-        yield _run_partition(task, live_bound=bound)
+        if deadline is not None:
+            deadline.check()
+        try:
+            yield _run_partition(task, live_bound=bound)
+        except ReproError:
+            raise
+        except Exception as exc:
+            counters["worker_failures"] += 1
+            yield _fallback_inline(task, bound, tracer, counters, attempts=1, cause=exc)
 
 
 def _dispatch_pool(
@@ -225,36 +330,215 @@ def _dispatch_pool(
     delta: float,
     workers: int,
     mode: str,
+    config: "JoinConfig",
+    tracer: Tracer = NULL_TRACER,
+    counters: Counter | None = None,
+    deadline: Deadline | None = None,
 ) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]]:
-    """Wave submission: at most ``workers`` in flight; each new
-    submission carries the freshest bound snapshot as its cap."""
-    if mode == "thread":
-        executor: concurrent.futures.Executor = (
-            concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+    """Wave submission with fault tolerance.
+
+    At most ``workers`` attempts in flight; each new submission carries
+    the freshest bound snapshot as its cap.  A failed attempt is retried
+    up to ``config.worker_retries`` times with exponential backoff
+    (``config.retry_backoff_s * 2**(failures-1)``); an attempt that
+    exhausts its retries degrades to an in-process serial run with
+    worker faults disarmed (:func:`_fallback_inline`).  A broken process
+    pool is rebuilt and every in-flight attempt charged one failure; an
+    attempt exceeding ``config.worker_timeout_s`` is killed (process
+    mode tears the pool down — a single pool worker cannot be cancelled —
+    and requeues the innocent bystanders at no failure charge; thread
+    mode abandons the future, whose eventual result is ignored).  Typed
+    :class:`~repro.resilience.errors.ReproError` failures — deadline,
+    spill corruption — are *not* retried: they describe the environment,
+    not the worker, and propagate to the caller.
+    """
+    counters = counters if counters is not None else Counter()
+    timeout_s = config.worker_timeout_s
+    retries = max(config.worker_retries, 0)
+    backoff = max(config.retry_backoff_s, 0.0)
+
+    def make_executor() -> concurrent.futures.Executor:
+        if mode == "thread":
+            return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
         )
-        submit = lambda task: executor.submit(_run_partition, task, bound)
-    else:
-        executor = concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=multiprocessing.get_context("fork")
-        )
-        submit = lambda task: executor.submit(_run_partition, task)
-    try:
-        queue = list(reversed(tasks))
-        pending: set[concurrent.futures.Future] = set()
-        while queue or pending:
-            while queue and len(pending) < workers:
-                task = queue.pop()
-                task["cap"] = min(delta, bound.cutoff)
-                pending.add(submit(task))
-            done, pending = concurrent.futures.wait(
-                pending, return_when=concurrent.futures.FIRST_COMPLETED
+
+    executor = make_executor()
+    seq = itertools.count()
+    ready: list[tuple[float, int, _Attempt]] = [
+        (0.0, next(seq), _Attempt(task)) for task in tasks
+    ]
+    heapq.heapify(ready)
+    pending: dict[concurrent.futures.Future, _Attempt] = {}
+
+    def rebuild_pool(reason: str) -> None:
+        nonlocal executor
+        counters["pool_rebuilds"] += 1
+        if tracer.enabled:
+            tracer.event("pool_rebuild", reason=reason)
+        _kill_pool(executor)
+        executor = make_executor()
+
+    def submit(attempt: _Attempt) -> None:
+        attempt.task["cap"] = min(delta, bound.cutoff)
+        attempt.started = time.monotonic()
+        try:
+            if mode == "thread":
+                future = executor.submit(_run_partition, attempt.task, bound)
+            else:
+                future = executor.submit(_run_partition, attempt.task)
+        except (BrokenExecutor, RuntimeError):
+            # The pool died between completions; one rebuild, then let a
+            # second failure propagate — something is wrong beyond a
+            # crashed worker.
+            rebuild_pool("submit-failed")
+            if mode == "thread":
+                future = executor.submit(_run_partition, attempt.task, bound)
+            else:
+                future = executor.submit(_run_partition, attempt.task)
+        pending[future] = attempt
+
+    def retry_or_fallback(attempt: _Attempt, reason: str, cause: BaseException | None):
+        """Charge one failure; requeue with backoff, or run inline.
+
+        Returns the fallback's outcome when retries are exhausted, else
+        ``None`` (the attempt went back on the ready heap).
+        """
+        attempt.failures += 1
+        counters["worker_failures"] += 1
+        if attempt.failures > retries:
+            return _fallback_inline(
+                attempt.task, bound, tracer, counters, attempt.failures, cause
             )
+        delay = backoff * (2 ** (attempt.failures - 1))
+        counters["worker_retries"] += 1
+        if tracer.enabled:
+            tracer.event(
+                "worker_retry",
+                partition=attempt.task["index"],
+                failures=attempt.failures,
+                reason=reason,
+                delay_s=delay,
+            )
+        heapq.heappush(ready, (time.monotonic() + delay, next(seq), attempt))
+        return None
+
+    try:
+        while ready or pending:
+            if deadline is not None:
+                deadline.check()
+            now = time.monotonic()
+            while ready and ready[0][0] <= now and len(pending) < workers:
+                _, _, attempt = heapq.heappop(ready)
+                submit(attempt)
+            waits: list[float] = []
+            if ready:
+                waits.append(ready[0][0] - now)
+            if pending and timeout_s is not None:
+                waits.append(
+                    min(a.started for a in pending.values()) + timeout_s - now
+                )
+            if deadline is not None and deadline.armed:
+                waits.append(deadline.remaining())
+            if not pending:
+                # Nothing in flight: the only thing to wait for is the
+                # next backoff expiry.
+                time.sleep(min(max(waits[0], 0.0), 0.1) if waits else 0.0)
+                continue
+            wait_s = max(min(waits), 0.0) + 1e-3 if waits else None
+            done, _ = concurrent.futures.wait(
+                pending, timeout=wait_s, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            lost: list[_Attempt] = []
+            broken: str | None = None
             for future in done:
-                outcome = future.result()
-                bound.offer(pair.distance for pair in outcome[0])
-                yield outcome
+                attempt = pending.pop(future)
+                if broken is not None:
+                    # The pool is gone; everything that "completed" with
+                    # it is a casualty, not a result.
+                    lost.append(attempt)
+                    continue
+                try:
+                    outcome = future.result()
+                except ReproError:
+                    raise
+                except BrokenExecutor as exc:
+                    broken = f"{type(exc).__name__}: {exc}"
+                    lost.append(attempt)
+                except Exception as exc:
+                    fallback = retry_or_fallback(
+                        attempt, f"{type(exc).__name__}: {exc}", exc
+                    )
+                    if fallback is not None:
+                        bound.offer(pair.distance for pair in fallback[0])
+                        yield fallback
+                else:
+                    bound.offer(pair.distance for pair in outcome[0])
+                    yield outcome
+            if broken is not None:
+                # Every in-flight attempt died with the pool.
+                lost.extend(pending.values())
+                pending.clear()
+                rebuild_pool(broken)
+                for attempt in lost:
+                    fallback = retry_or_fallback(attempt, "broken-pool", None)
+                    if fallback is not None:
+                        bound.offer(pair.distance for pair in fallback[0])
+                        yield fallback
+                continue
+            if timeout_s is not None and pending:
+                now = time.monotonic()
+                stalled = {
+                    future: attempt
+                    for future, attempt in pending.items()
+                    if now - attempt.started >= timeout_s
+                }
+                if not stalled:
+                    continue
+                counters["worker_timeouts"] += len(stalled)
+                if tracer.enabled:
+                    for attempt in stalled.values():
+                        tracer.event(
+                            "worker_timeout",
+                            partition=attempt.task["index"],
+                            waited_s=now - attempt.started,
+                        )
+                if mode == "process":
+                    # A single pool worker cannot be cancelled once
+                    # running: kill the whole pool, requeue the innocent
+                    # in-flight attempts at no failure charge.
+                    innocent = [
+                        attempt
+                        for future, attempt in pending.items()
+                        if future not in stalled
+                    ]
+                    pending.clear()
+                    rebuild_pool("worker-timeout")
+                    for attempt in innocent:
+                        heapq.heappush(ready, (time.monotonic(), next(seq), attempt))
+                else:
+                    # Threads cannot be killed: abandon the future (its
+                    # eventual result, if any, is ignored) and move on.
+                    for future in stalled:
+                        pending.pop(future)
+                        future.cancel()
+                for attempt in stalled.values():
+                    fallback = retry_or_fallback(attempt, "timeout", None)
+                    if fallback is not None:
+                        bound.offer(pair.distance for pair in fallback[0])
+                        yield fallback
     finally:
-        executor.shutdown(wait=True)
+        # Reached on completion, on typed errors, and when the consumer
+        # abandons the generator: never strand a future, never block on
+        # a wedged worker.
+        for future in list(pending):
+            future.cancel()
+        pending.clear()
+        if mode == "process":
+            _kill_pool(executor)
+        else:
+            executor.shutdown(wait=False, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------
@@ -322,12 +606,19 @@ def parallel_kdj(
         raise ValueError(
             f"unknown parallel_mode {mode!r}; pick 'process', 'thread' or 'serial'"
         )
+    counters: Counter = Counter()
+    # The parent's deadline covers the whole staged run; workers get the
+    # same budget via config (each stage's workers start their own clock,
+    # so the parent clock is the binding one).
+    deadline = Deadline(config.deadline_s) if config.deadline_s is not None else None
     tracer = NULL_TRACER
     owned_tracer: Tracer | None = None
     if config.trace_path is not None:
         from repro.obs import tracer_for
 
         tracer = owned_tracer = tracer_for(config.trace_path, config.trace_format)
+    if deadline is not None:
+        deadline.bind_tracer(tracer)
     # Workers must not open the parent's trace file: they trace into
     # collecting sinks shipped back with their results instead.
     worker_config = (
@@ -374,10 +665,18 @@ def parallel_kdj(
             runs: list[list[ResultPair]] = []
             caps: list[float] = []
             all_exhausted = True
+            if deadline is not None:
+                deadline.check()
             if mode == "serial":
-                outcomes = _dispatch_serial(tasks, bound, delta, workers)
+                outcomes = _dispatch_serial(
+                    tasks, bound, delta, workers,
+                    tracer=tracer, counters=counters, deadline=deadline,
+                )
             else:
-                outcomes = _dispatch_pool(tasks, bound, delta, workers, mode)
+                outcomes = _dispatch_pool(
+                    tasks, bound, delta, workers, mode, config,
+                    tracer=tracer, counters=counters, deadline=deadline,
+                )
             for results, cap_used, exhausted, stats, trace in outcomes:
                 if mode == "serial":
                     bound.offer(pair.distance for pair in results[:k])
@@ -440,6 +739,10 @@ def parallel_kdj(
             "parallel_qdmax": bound.cutoff if bound.is_finite else None,
         }
     )
+    if counters:
+        total.extra.update(
+            {f"resilience_{name}": float(value) for name, value in counters.items()}
+        )
     return JoinResult(final, total)
 
 

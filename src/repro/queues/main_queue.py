@@ -38,19 +38,39 @@ A queue abandoned mid-drain in real-spill mode would leak its segment
 files; :meth:`MainQueue.close` (also reachable via the context-manager
 protocol) unlinks every live spill file, and the join engines call it
 from their teardown.
+
+Spill I/O is hardened against the two failure shapes a real disk
+produces:
+
+- **writes** — every batch is framed as ``(crc32, pickled-entries)``;
+  a failed append (ENOSPC, permissions, an injected fault) rolls the
+  file back to the last good batch, flips the queue into memory-
+  retention mode (the batch — and all later spills — stay in the
+  staging buffers), and counts a ``spill_write_failures`` stat.  The
+  join completes with identical results, just without the memory bound;
+- **reads** — a checksum mismatch, unreadable framing, or an
+  entry-count shortfall (truncation) raises the typed
+  :class:`~repro.resilience.errors.SpillCorruptionError`.  The data is
+  gone, so the queue cannot recover — but the raising path leaves every
+  live file registered, and the engines' ``finally`` teardown calls
+  :meth:`MainQueue.close`, so even an aborted join leaves ``spill_dir``
+  empty.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import pickle
 import uuid
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.obs.tracer import NULL_TRACER
 from repro.queues.binary_heap import MinHeap
+from repro.resilience.errors import SpillCorruptionError
 from repro.storage.disk import SimulatedDisk
 
 #: Modeled size of one queue entry on disk: distance (8 bytes), two node
@@ -72,6 +92,7 @@ class QueueStats:
     swap_ins: int = 0
     spilled_entries: int = 0
     peak_size: int = 0
+    spill_write_failures: int = 0
 
 
 @dataclass(slots=True)
@@ -92,31 +113,6 @@ class _Segment:
 
     def total(self) -> int:
         return len(self.entries) + self.spilled
-
-    def spill_to(self, path: Path, batch: list[tuple[float, Any]]) -> None:
-        """Append a batch of entries to this segment's file."""
-        if self.path is None:
-            self.path = path
-        with open(self.path, "ab") as f:
-            pickle.dump(batch, f, protocol=pickle.HIGHEST_PROTOCOL)
-        self.spilled += len(batch)
-
-    def load_all(self) -> list[tuple[float, Any]]:
-        """Read back everything (file batches plus the staging buffer)."""
-        loaded: list[tuple[float, Any]] = []
-        if self.path is not None and self.path.exists():
-            with open(self.path, "rb") as f:
-                while True:
-                    try:
-                        loaded.extend(pickle.load(f))
-                    except EOFError:
-                        break
-            self.path.unlink()
-            self.path = None
-        self.spilled = 0
-        loaded.extend(self.entries)
-        self.entries = []
-        return loaded
 
 
 class MainQueue:
@@ -140,6 +136,10 @@ class MainQueue:
         capacity plus one staging page per segment) instead of merely
         being charged to the simulated clock.  Files are removed as
         segments are consumed.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` whose
+        ``spill_write`` / ``spill_read`` sites inject I/O failures into
+        the real-spill paths (test harness and ``--inject-faults``).
     """
 
     def __init__(
@@ -149,6 +149,7 @@ class MainQueue:
         rho: float | None = None,
         entry_bytes: int = DEFAULT_ENTRY_BYTES,
         spill_dir: str | Path | None = None,
+        faults=None,
     ) -> None:
         if memory_bytes <= 0:
             raise ValueError("memory_bytes must be positive")
@@ -175,6 +176,11 @@ class MainQueue:
         # is sampled on every insert/pop only when a registry is set.
         self.tracer = NULL_TRACER
         self._depth_hist = None
+        self._faults = faults
+        # Set on the first failed spill write: the queue then retains
+        # everything in memory instead of retrying a disk that already
+        # failed once (ENOSPC rarely clears mid-run).
+        self._spill_broken = False
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         if self._spill_dir is not None:
             self._spill_dir.mkdir(parents=True, exist_ok=True)
@@ -248,8 +254,8 @@ class MainQueue:
                 flushed = segment.staged_since_flush
                 segment.staged_since_flush = 0
                 if self._spill_dir is not None:
-                    segment.spill_to(self._new_spill_path(), segment.entries)
-                    segment.entries = []
+                    if self._write_segment(segment, segment.entries):
+                        segment.entries = []
                 if self.tracer.enabled:
                     self.tracer.event(
                         "queue_spill", entries=flushed,
@@ -329,6 +335,108 @@ class MainQueue:
     def _all_segments(self) -> list[_Segment]:
         return self._split_segments + list(self._formula_segments.values())
 
+    def _write_segment(self, segment: _Segment, batch: list[tuple[float, Any]]) -> bool:
+        """Append one checksummed batch to the segment's spill file.
+
+        The on-disk format is one pickled ``(crc32, blob)`` record per
+        batch, where ``blob`` is the pickled entry list — the checksum
+        covers exactly the bytes that will be unpickled on read-back.
+
+        Returns ``False`` when the write failed (disk full, permissions,
+        an injected ``spill_write`` fault): the file is rolled back to
+        the last good batch, the queue flips into memory-retention mode,
+        and the caller must keep ``batch`` in its staging buffer.
+        """
+        if self._spill_broken:
+            return False
+        blob = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+        path = segment.path if segment.path is not None else self._new_spill_path()
+        offset: int | None = None
+        try:
+            if self._faults is not None:
+                self._faults.maybe_fail_spill_write()
+            with open(path, "ab") as f:
+                offset = f.tell()
+                pickle.dump(
+                    (zlib.crc32(blob), blob), f, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        except OSError as exc:
+            # Roll back any partial append so earlier batches stay
+            # readable, then retain this batch (and all later spills)
+            # in memory: correctness over the memory bound.  A failure
+            # before the append started (offset still None) must NOT
+            # touch the file — it may hold valid earlier batches.
+            try:
+                if offset is not None and path.exists():
+                    os.truncate(path, offset)
+            except OSError:
+                pass
+            self._spill_broken = True
+            self.stats.spill_write_failures += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "spill_write_failed", error=str(exc), segment_lo=segment.lo
+                )
+            return False
+        segment.path = path
+        segment.spilled += len(batch)
+        return True
+
+    def _read_segment(self, segment: _Segment) -> list[tuple[float, Any]]:
+        """Read back a segment: checksummed file batches plus staging.
+
+        Every batch's CRC-32 is validated against its payload, and the
+        total entry count against what the queue wrote; any mismatch —
+        bit rot, truncation, an injected ``spill_read`` fault — raises
+        :class:`SpillCorruptionError`.  The raising path leaves the file
+        registered on the segment, so :meth:`close` still unlinks it.
+        """
+        loaded: list[tuple[float, Any]] = []
+        path = segment.path
+        if path is not None and path.exists():
+            corrupt: str | None = None
+            with open(path, "rb") as f:
+                while corrupt is None:
+                    try:
+                        record = pickle.load(f)
+                    except EOFError:
+                        break
+                    except Exception as exc:
+                        corrupt = f"unreadable batch framing ({exc})"
+                        break
+                    try:
+                        checksum, blob = record
+                    except (TypeError, ValueError):
+                        corrupt = "bad batch record shape"
+                        break
+                    if self._faults is not None:
+                        blob = self._faults.maybe_corrupt(blob)
+                    if zlib.crc32(blob) != checksum:
+                        corrupt = "checksum mismatch"
+                        break
+                    try:
+                        loaded.extend(pickle.loads(blob))
+                    except Exception as exc:
+                        corrupt = f"bad batch payload ({exc})"
+                        break
+            if corrupt is None and len(loaded) != segment.spilled:
+                corrupt = (
+                    f"expected {segment.spilled} spilled entries, "
+                    f"read {len(loaded)} (truncated file)"
+                )
+            if corrupt is not None:
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "spill_corruption", path=str(path), detail=corrupt
+                    )
+                raise SpillCorruptionError(f"spill segment {path.name}: {corrupt}")
+            path.unlink()
+            segment.path = None
+        segment.spilled = 0
+        loaded.extend(segment.entries)
+        segment.entries = []
+        return loaded
+
     def _entries_per_page(self) -> int:
         return max(self._disk.cost_model.page_size // self._entry_bytes, 1)
 
@@ -390,9 +498,7 @@ class MainQueue:
         self._mem_bound = moved[0][0]
         self._heap = MinHeap(kept)
         segment = _Segment(self._mem_bound, old_bound)
-        if self._spill_dir is not None:
-            segment.spill_to(self._new_spill_path(), moved)
-        else:
+        if self._spill_dir is None or not self._write_segment(segment, moved):
             segment.entries = moved
         self.stats.spilled_entries += len(moved)
         self._split_segments.insert(0, segment)
@@ -423,7 +529,11 @@ class MainQueue:
         if segment is None:
             raise IndexError("pop from empty MainQueue")
         self.stats.swap_ins += 1
-        entries = segment.load_all() if self._spill_dir is not None else segment.entries
+        entries = (
+            self._read_segment(segment)
+            if self._spill_dir is not None
+            else segment.entries
+        )
         if self.tracer.enabled:
             self.tracer.event(
                 "queue_swap_in", entries=len(entries),
@@ -443,11 +553,10 @@ class MainQueue:
             segment.lo = remainder[0][0]
             segment.staged_since_flush = 0
             self._mem_bound = segment.lo
-            if self._spill_dir is not None:
-                segment.entries = []
-                segment.spill_to(self._new_spill_path(), remainder)
-            else:
+            if self._spill_dir is None or not self._write_segment(segment, remainder):
                 segment.entries = remainder
+            else:
+                segment.entries = []
             self._disk.sequential_write(self._pages_for(len(remainder)))
 
     def _drop(self, segment: _Segment) -> None:

@@ -1,0 +1,43 @@
+"""Resilient join execution: typed errors, fault injection, deadlines.
+
+Three pieces, each wired through the engines:
+
+- :mod:`repro.resilience.errors` — the :class:`ReproError` hierarchy
+  every deliberate failure derives from (the CLI maps each subclass to a
+  distinct exit code);
+- :mod:`repro.resilience.faults` — the deterministic, seeded
+  :class:`FaultPlan` harness (worker crash/kill/stall, spill-write
+  ENOSPC, spill-read corruption) that tests and ``--inject-faults``
+  activate;
+- :mod:`repro.resilience.deadline` — cooperative :class:`Deadline`
+  enforcement for ``JoinConfig.deadline_s`` in every engine's expansion
+  loop.
+"""
+
+from repro.resilience.deadline import Deadline, NULL_DEADLINE, NullDeadline
+from repro.resilience.errors import (
+    FaultSpecError,
+    InjectedWorkerCrash,
+    JoinDeadlineExceeded,
+    PartitionFailedError,
+    ReproError,
+    SpillCorruptionError,
+    SpillError,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, trip_worker_faults
+
+__all__ = [
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedWorkerCrash",
+    "JoinDeadlineExceeded",
+    "NULL_DEADLINE",
+    "NullDeadline",
+    "PartitionFailedError",
+    "ReproError",
+    "SpillCorruptionError",
+    "SpillError",
+    "trip_worker_faults",
+]

@@ -1,0 +1,104 @@
+"""Cooperative join deadlines.
+
+A :class:`Deadline` is created per run from ``JoinConfig.deadline_s``
+and handed to the :class:`~repro.core.base.JoinContext`; every engine's
+expansion loop calls :meth:`Deadline.tick` once per iteration.  The
+clock is only read every ``stride`` ticks, so the per-iteration cost of
+an armed deadline is one integer increment — and a run without a
+deadline pays a single attribute check against :data:`NULL_DEADLINE`,
+the same pattern the tracer uses.
+
+On expiry the deadline emits a ``deadline_exceeded`` trace event (when a
+tracer is bound) and raises
+:class:`~repro.resilience.errors.JoinDeadlineExceeded`; the engines'
+``finally`` teardown then releases spill files as usual.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.obs.tracer import NULL_TRACER
+from repro.resilience.errors import JoinDeadlineExceeded
+
+__all__ = ["Deadline", "NULL_DEADLINE", "NullDeadline"]
+
+#: Loop iterations between clock reads on :meth:`Deadline.tick`.
+TICK_STRIDE = 64
+
+
+class NullDeadline:
+    """Disabled deadline: every operation is a no-op."""
+
+    armed = False
+
+    def tick(self) -> None:
+        return None
+
+    def check(self) -> None:
+        return None
+
+    def expired(self) -> bool:
+        return False
+
+    def remaining(self) -> float:
+        return math.inf
+
+
+NULL_DEADLINE = NullDeadline()
+
+
+class Deadline:
+    """A monotonic-clock budget enforced cooperatively."""
+
+    __slots__ = ("budget_s", "_started", "_expires", "_ticks", "_stride", "_tracer")
+
+    armed = True
+
+    def __init__(self, budget_s: float, stride: int = TICK_STRIDE) -> None:
+        if budget_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.budget_s = budget_s
+        self._started = time.monotonic()
+        self._expires = self._started + budget_s
+        self._ticks = 0
+        self._stride = stride
+        self._tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach the run's tracer so expiry is visible on the timeline."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def tick(self) -> None:
+        """Account one loop iteration; checks the clock every ``stride``.
+
+        The first tick always checks, so even a join whose loop runs
+        fewer than ``stride`` iterations enforces its budget at least
+        once.
+        """
+        self._ticks += 1
+        if self._ticks == 1 or self._ticks >= self._stride:
+            if self._ticks >= self._stride:
+                self._ticks = 1
+            self.check()
+
+    def check(self) -> None:
+        """Read the clock now; raise :class:`JoinDeadlineExceeded` on expiry."""
+        now = time.monotonic()
+        if now >= self._expires:
+            elapsed = now - self._started
+            if self._tracer.enabled:
+                self._tracer.event(
+                    "deadline_exceeded", budget_s=self.budget_s, elapsed_s=elapsed
+                )
+            raise JoinDeadlineExceeded(self.budget_s, elapsed)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(self._expires - time.monotonic(), 0.0)

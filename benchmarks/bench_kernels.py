@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Kernel-backend speedup benchmark: NumPy vs pure-Python distance kernels.
+
+Runs the Figure-10 KDJ workload (HS-KDJ, B-KDJ, AM-KDJ, SJ-SORT across
+the stopping-cardinality sweep) single-worker under both kernel
+backends, verifies that result streams and simulated-cost counters are
+identical, and writes ``BENCH_kernels.json`` at the repository root with
+per-cell wall times and the aggregate speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--smoke] [--output PATH]
+
+``--smoke`` runs a small dataset with no speedup floor — it only asserts
+that the backends agree and that the JSON is emitted (CI runs this).
+The full run asserts the aggregate speedup meets ``TARGET_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.api import JoinConfig, JoinRunner  # noqa: E402
+from repro.workloads.experiments import make_setup, scaled_ks  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+#: Aggregate wall-clock floor the full run asserts (NumPy over Python).
+TARGET_SPEEDUP = 1.3
+
+#: The Figure 10 algorithm set.
+ALGORITHMS = ("hs", "bkdj", "amkdj", "sjsort")
+
+
+def _run_cell(setup, algorithm: str, k: int, backend: str):
+    """One (algorithm, k, backend) cell: wall time plus a comparison key."""
+    runner = JoinRunner(
+        setup.tree_r, setup.tree_s, JoinConfig(kernels=backend)
+    )
+    dmax = setup.true_dmax(k) if algorithm == "sjsort" else None
+    t0 = time.perf_counter()
+    result = runner.kdj(k, algorithm, dmax=dmax) if dmax is not None else runner.kdj(
+        k, algorithm
+    )
+    wall = time.perf_counter() - t0
+    s = result.stats
+    # The backend-equivalence contract: byte-identical result streams and
+    # unchanged simulated-cost counters.
+    fingerprint = (
+        tuple(result.results),
+        s.real_distance_computations,
+        s.axis_distance_computations,
+        s.node_accesses,
+        s.response_time,
+    )
+    return wall, fingerprint
+
+
+def run_matrix(setup, ks, rounds: int = 2) -> list[dict]:
+    """Best-of-``rounds`` wall times, backends interleaved per cell.
+
+    Interleaving and taking the minimum cancels the in-process drift
+    (GC pressure, allocator state, frequency scaling) that otherwise
+    systematically penalizes whichever backend runs later.
+    """
+    rows = []
+    for algorithm in ALGORITHMS:
+        for k in ks:
+            walls = {"python": [], "numpy": []}
+            fps = {}
+            for _ in range(rounds):
+                for backend in ("numpy", "python"):
+                    gc.collect()
+                    wall, fp = _run_cell(setup, algorithm, k, backend)
+                    walls[backend].append(wall)
+                    fps[backend] = fp
+            wall_py = min(walls["python"])
+            wall_np = min(walls["numpy"])
+            identical = fps["python"] == fps["numpy"]
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "k": k,
+                    "wall_python_s": wall_py,
+                    "wall_numpy_s": wall_np,
+                    "speedup": wall_py / wall_np if wall_np > 0 else float("inf"),
+                    "identical": identical,
+                }
+            )
+            print(
+                f"  {algorithm:>6s} k={k:>6d}: py={wall_py:7.3f}s "
+                f"np={wall_np:7.3f}s  {wall_py / wall_np:5.2f}x  "
+                f"identical={identical}"
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small dataset, agreement checks only, no speedup floor",
+    )
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        setup = make_setup(n_streets=3000, n_hydro=1000)
+        ks = [100, 500]
+    else:
+        setup = make_setup()
+        ks = scaled_ks()
+
+    print(f"workload: {setup.name}  ks={ks}")
+    # Warm both backends (imports, ufunc setup, tree/page caches) so the
+    # first timed cell does not absorb one-time costs.
+    for backend in ("python", "numpy"):
+        _run_cell(setup, "bkdj", ks[0], backend)
+    rows = run_matrix(setup, ks)
+
+    total_py = sum(r["wall_python_s"] for r in rows)
+    total_np = sum(r["wall_numpy_s"] for r in rows)
+    aggregate = total_py / total_np if total_np > 0 else float("inf")
+    all_identical = all(r["identical"] for r in rows)
+
+    payload = {
+        "benchmark": "kernels_speedup",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "name": setup.name,
+            "n_r": setup.tree_r.size,
+            "n_s": setup.tree_s.size,
+            "ks": list(ks),
+            "algorithms": list(ALGORITHMS),
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "total_python_s": total_py,
+        "total_numpy_s": total_np,
+        "aggregate_speedup": aggregate,
+        "target_speedup": TARGET_SPEEDUP,
+        "backends_identical": all_identical,
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"aggregate: py={total_py:.2f}s np={total_np:.2f}s "
+        f"speedup={aggregate:.2f}x identical={all_identical}"
+    )
+
+    if not all_identical:
+        print("FAIL: backends disagree", file=sys.stderr)
+        return 1
+    if not args.smoke and aggregate < TARGET_SPEEDUP:
+        print(
+            f"FAIL: aggregate speedup {aggregate:.2f}x below target "
+            f"{TARGET_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

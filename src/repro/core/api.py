@@ -55,6 +55,13 @@ class JoinConfig:
     R-tree buffer sizes (512 KB defaults), the plane-sweep optimizations,
     the eDmax override for Figure 14, and the cost model.
 
+    ``kernels`` selects the batched distance-kernel backend
+    (:mod:`repro.kernels`): ``"numpy"`` evaluates whole sweep windows
+    vectorized, ``"python"`` is the dependency-free scalar fallback.
+    ``None`` defers to ``REPRO_KERNELS`` and then auto-detection.  The
+    backend changes wall-clock time only — results and every simulated
+    cost counter are identical either way.
+
     ``parallel`` switches k-distance joins to the partitioned parallel
     engine (:mod:`repro.parallel`) with that many workers;
     ``parallel_mode`` picks the executor (``"process"`` for CPU-bound
@@ -94,6 +101,7 @@ class JoinConfig:
     distance_queue_all_pairs: bool = False
     expansion_policy: str = "level"
     hs_insert_pruning: bool = True
+    kernels: str | None = None
     edmax: float | None = None
     adaptive_edmax: bool = False
     model_queue_boundaries: bool = True
@@ -119,6 +127,7 @@ class JoinConfig:
             distance_queue_all_pairs=self.distance_queue_all_pairs,
             expansion_policy=self.expansion_policy,
             hs_insert_pruning=self.hs_insert_pruning,
+            kernels=self.kernels,
         )
 
 

@@ -52,6 +52,12 @@ class EngineOptions:
         charitable reading of the baseline) or prunes only at dequeue
         (off — inflates the queue, closer to the blow-ups the paper
         reports for previous work).
+    kernels:
+        Batched distance-kernel backend (``"numpy"`` or ``"python"``;
+        see :mod:`repro.kernels`).  ``None`` defers to the
+        ``REPRO_KERNELS`` environment variable, then auto-detection.
+        Backends produce bit-identical results and identical simulated
+        costs; only wall-clock time differs.
     """
 
     optimize_axis: bool = True
@@ -59,6 +65,7 @@ class EngineOptions:
     distance_queue_all_pairs: bool = False
     expansion_policy: str = "level"
     hs_insert_pruning: bool = True
+    kernels: str | None = None
 
 
 class JoinContext:
@@ -88,14 +95,16 @@ class JoinContext:
         # evenly between the two trees' pools.
         self.accessor_r = TreeAccessor(tree_r, self.disk, buffer_memory // 2)
         self.accessor_s = TreeAccessor(tree_s, self.disk, buffer_memory // 2)
+        self.options = options or EngineOptions()
         # The tracer/registry stay owned by whoever created them (the
         # runner closes a file-backed tracer after the run); the context
         # only fans them out to the instrumented components.
         self.instr = Instruments(
             self.disk, self.accessor_r, self.accessor_s,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, kernels=self.options.kernels,
         )
         self.rho = rho if rho is not None else self.default_rho()
+        self._child_cache: dict[tuple[bool, int], list[Item]] = {}
         self.queue_memory = queue_memory
         # The Equation (3) density model pre-places the hybrid queue's
         # segment boundaries; disabling it (the ablation benchmark) makes
@@ -108,7 +117,6 @@ class JoinContext:
         )
         self.instr.attach_queue(self.main_queue)
         self.main_queue.set_observer(self.instr.tracer, self.instr.metrics)
-        self.options = options or EngineOptions()
         # Cooperative deadline: engines call ``ctx.deadline.tick()`` once
         # per expansion-loop iteration; the no-op default costs one
         # attribute access, same pattern as the tracer.
@@ -170,11 +178,11 @@ class JoinContext:
 
     def children_r(self, item: Item) -> list[Item]:
         """Children of an R-side item (the item itself if an object)."""
-        return self._children(item, self.accessor_r)
+        return self._children(item, self.accessor_r, True)
 
     def children_s(self, item: Item) -> list[Item]:
         """Children of an S-side item (the item itself if an object)."""
-        return self._children(item, self.accessor_s)
+        return self._children(item, self.accessor_s, False)
 
     def touch_r(self, item: Item) -> None:
         """Count a (re-)access of an R-side node, e.g. in compensation."""
@@ -186,14 +194,37 @@ class JoinContext:
         if not item.is_object:
             self.accessor_s.get(item.ref)
 
-    @staticmethod
-    def _children(item: Item, accessor: TreeAccessor) -> list[Item]:
+    #: Materialized-children memo bound; cleared wholesale when full.
+    _CHILD_CACHE_MAX = 1 << 18
+
+    def _children(
+        self, item: Item, accessor: TreeAccessor, side_r: bool
+    ) -> list[Item]:
+        """Children of ``item``, metered, memoized per node.
+
+        The trees are immutable for the duration of a join and
+        :class:`Item` is frozen, so the materialized child list of a node
+        can be built once and shared across every expansion that revisits
+        the node (HS revisits constantly).  The ``accessor.get`` call
+        still runs on every invocation, so node-access counters and
+        buffer-pool charging are exactly what an unmemoized walk reports.
+        Callers must treat the returned list as read-only.
+        """
         if item.is_object:
             return [item]
         node = accessor.get(item.ref)
+        key = (side_r, item.ref)
+        items = self._child_cache.get(key)
+        if items is not None:
+            return items
         if node.is_leaf:
-            return [Item.object(e.rect, e.ref) for e in node.entries]
-        return [Item.node(e.rect, e.ref, node.level - 1) for e in node.entries]
+            items = [Item.object(e.rect, e.ref) for e in node.entries]
+        else:
+            items = [Item.node(e.rect, e.ref, node.level - 1) for e in node.entries]
+        if len(self._child_cache) >= self._CHILD_CACHE_MAX:
+            self._child_cache.clear()
+        self._child_cache[key] = items
+        return items
 
     # ------------------------------------------------------------------
     # Metrics

@@ -82,10 +82,23 @@ def hs_incremental(
                 partner = payload.a
             batch.tick(children=len(children))
             cutoff = qdmax() if ctx.options.hs_insert_pruning else math.inf
-            for child in children:
-                real = ctx.instr.real_distance(child.rect, partner.rect)
+            # HS pairs the partner with *every* child (no sweep pruning),
+            # so the whole child list is one kernel batch; all distances
+            # are computed (and charged), but only candidates within the
+            # cutoff-at-batch-start cross back into Python.  qDmax only
+            # tightens, so that set is a superset of the true survivors;
+            # each candidate is re-checked against the live cutoff below.
+            # The expanded node's (side, ref) tags the batch so the
+            # backend packs each node's children once, however many
+            # partners it is re-expanded against.
+            expanded = payload.a if expand_r else payload.b
+            candidates = ctx.instr.mindist_within_items(
+                partner.rect, children, cutoff, tag=(expand_r, expanded.ref)
+            )
+            for i, real in candidates:
                 if real > cutoff:
                     continue
+                child = children[i]
                 pair = (
                     PairPayload(child, partner) if expand_r else PairPayload(partner, child)
                 )

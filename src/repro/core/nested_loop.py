@@ -117,4 +117,8 @@ def _min_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     bx_min, by_min, bx_max, by_max = (b[None, :, i] for i in range(4))
     dx = np.maximum(np.maximum(ax_min - bx_max, bx_min - ax_max), 0.0)
     dy = np.maximum(np.maximum(ay_min - by_max, by_min - ay_max), 0.0)
-    return np.hypot(dx, dy)
+    # Mirror the scalar min_distance exactly (including its dx==0/dy==0
+    # shortcuts): np.hypot rounds differently from the naive sqrt form,
+    # and results must be bit-identical to the scalar engines'.
+    d = np.sqrt(dx * dx + dy * dy)
+    return np.where(dx == 0.0, dy, np.where(dy == 0.0, dx, d))

@@ -54,10 +54,14 @@ class PairPayload:
     a: Item
     b: Item
     record: "ExpansionRecord | None" = None
+    #: Precomputed at construction: the engines test this on every queue
+    #: pop and insert, so it is a plain attribute rather than a property.
+    is_object_pair: bool = False
 
-    @property
-    def is_object_pair(self) -> bool:
-        return self.a.is_object and self.b.is_object
+    def __post_init__(self) -> None:
+        self.is_object_pair = (
+            self.a.level == OBJECT_LEVEL and self.b.level == OBJECT_LEVEL
+        )
 
 
 class ResultPair(NamedTuple):

@@ -35,7 +35,9 @@ from typing import Callable
 
 from repro.core.pairs import Item
 from repro.core.stats import Instruments
+from repro.geometry.distances import min_distance
 from repro.geometry.rect import Rect
+from repro.kernels.plan_cache import SweepPlanCache, plan_key
 
 #: Signature of the pair consumer: (item_from_R, item_from_S, distance).
 EmitFn = Callable[[Item, Item, float], None]
@@ -152,7 +154,18 @@ def table1_sweeping_index(r: Rect, s: Rect, axis: int, cutoff: float) -> float:
         raise ValueError("table1_sweeping_index requires non-overlapping nodes")
     len_s = s_hi - s_lo
     if len_s == 0:
-        raise ValueError("table1_sweeping_index requires non-degenerate s")
+        # Degenerate second node: the limit of the closed form as
+        # |s| -> 0.  The ramp H collapses to a step, leaving the measure
+        # of sweep positions whose window [t, t + cutoff] contains the
+        # point.  Written exactly as the degenerate branch of
+        # ``_index_term`` (not the algebraically-equal
+        # ``min(|r|, cutoff - alpha)``) so the two routes agree bitwise:
+        # ``cutoff - alpha`` cancels catastrophically when the gap is
+        # close to the cutoff, and dividing by a tiny |r| amplifies that
+        # ulp into an O(1) error in the normalized index.
+        lo = max(r_lo, s_lo - cutoff)
+        hi = min(r_hi, s_lo)
+        return max(0.0, hi - lo)
 
     def antiderivative(x: float) -> float:
         if x <= 0.0:
@@ -171,21 +184,64 @@ def table1_sweeping_index(r: Rect, s: Rect, axis: int, cutoff: float) -> float:
 # ----------------------------------------------------------------------
 
 
+#: CPU charged (in ``cpu_axis_distance`` units) per axis whose index is
+#: computed by the Table 1 closed form: a comparison, a couple of
+#: subtractions and one quadratic-ramp evaluation.
+CLOSED_FORM_AXIS_COST = 4
+#: CPU charged per axis evaluated by the exact piecewise integrator:
+#: a six-breakpoint sort plus up to five trapezoids, for both Equation
+#: (2) terms.
+EXACT_AXIS_COST = 30
+
+
+def _axis_index_and_cost(r: Rect, s: Rect, axis: int, cutoff: float) -> tuple[float, int]:
+    """Sweeping index along one axis, with the CPU units it cost.
+
+    When the projections do not overlap the trailing Equation (2) term
+    is exactly zero (the second node's forward windows never reach back
+    to the first) and the leading term has the Table 1 closed form, so
+    the piecewise integrator is skipped entirely.
+    """
+    r_lo, r_hi = r.lo(axis), r.hi(axis)
+    s_lo, s_hi = s.lo(axis), s.hi(axis)
+    # Strictly disjoint only: touching projections (and coincident
+    # degenerate points, where the trailing term is *not* zero) take the
+    # exact integrator.
+    if r_hi < s_lo or s_hi < r_lo:
+        if r_lo <= s_lo:
+            first_lo, first_hi, second_lo, second_hi = r_lo, r_hi, s_lo, s_hi
+        else:
+            first_lo, first_hi, second_lo, second_hi = s_lo, s_hi, r_lo, r_hi
+        if first_hi > first_lo:
+            index = table1_sweeping_index(r, s, axis, cutoff) / (first_hi - first_lo)
+        else:
+            # Degenerate sweeping node: point-evaluated, also O(1).
+            index = _normalized_term(first_lo, first_hi, second_lo, second_hi, cutoff)
+        return index, CLOSED_FORM_AXIS_COST
+    return sweeping_index(r, s, axis, cutoff), EXACT_AXIS_COST
+
+
 def choose_axis(instr: Instruments, r: Rect, s: Rect, cutoff: float) -> int:
     """Pick the sweeping axis with the smaller sweeping index.
 
     With an infinite (or zero) cutoff the index is uninformative, so fall
     back to the natural heuristic: sweep along the dimension where the
     combined extent is larger (more spread means more pruning).
+
+    CPU accounting is proportional to the work actually done: axes whose
+    projections are disjoint use the Table 1 closed form (a few
+    arithmetic operations); overlapping axes run the exact piecewise
+    integrator, which costs roughly an order of magnitude more.
     """
     span_x = max(r.xmax, s.xmax) - min(r.xmin, s.xmin)
     span_y = max(r.ymax, s.ymax) - min(r.ymin, s.ymin)
     if not math.isfinite(cutoff) or cutoff <= 0.0 or cutoff >= max(span_x, span_y):
         return 0 if span_x >= span_y else 1
-    # The closed-form index costs a handful of arithmetic operations.
-    instr.disk.charge_cpu(4 * instr.disk.cost_model.cpu_real_distance)
-    index_x = sweeping_index(r, s, 0, cutoff)
-    index_y = sweeping_index(r, s, 1, cutoff)
+    index_x, cost_x = _axis_index_and_cost(r, s, 0, cutoff)
+    index_y, cost_y = _axis_index_and_cost(r, s, 1, cutoff)
+    instr.disk.charge_cpu(
+        (cost_x + cost_y) * instr.disk.cost_model.cpu_axis_distance
+    )
     if index_x == index_y:
         return 0 if span_x >= span_y else 1
     return 0 if index_x < index_y else 1
@@ -236,6 +292,11 @@ class ExpansionRecord:
     (inside the window, when ``real_cutoff`` is not ``None``).
     ``real_cutoff is None`` means the in-window real-distance pruning was
     *safe* (done with qDmax) and never needs revisiting.
+
+    ``keys_r``/``keys_s`` are the child lists' sweep-order coordinates
+    and ``batch_r``/``batch_s`` the kernels backend's packed coordinate
+    arrays — both computed in stage one, so compensation batches its
+    window evaluation without re-deriving either.
     """
 
     a: Item
@@ -248,6 +309,10 @@ class ExpansionRecord:
     anchors: list[AnchorScan]
     axis_cutoff: float
     real_cutoff: float | None
+    keys_r: list[float]
+    keys_s: list[float]
+    batch_r: object | None = None
+    batch_s: object | None = None
 
     def fully_swept(self) -> bool:
         """True when no anchor has unexamined positions left."""
@@ -263,6 +328,33 @@ class ExpansionRecord:
 # ----------------------------------------------------------------------
 
 
+class _LazyPack:
+    """Defers backend packing until a window actually needs it.
+
+    Most anchors fail the cheap min-window pre-check, and whole
+    expansions often produce no batchable window at all (tight cutoffs,
+    short child lists) — eagerly packing both sides on every expansion
+    would charge the array-building overhead for nothing.  The memoized
+    result also rides along in an :class:`ExpansionRecord`, so
+    compensation stages reuse the arrays instead of re-packing.
+    """
+
+    __slots__ = ("_kernels", "_items", "_keys", "_packed", "_done")
+
+    def __init__(self, kernels, items, keys) -> None:
+        self._kernels = kernels
+        self._items = items
+        self._keys = keys
+        self._packed = None
+        self._done = False
+
+    def get(self):
+        if not self._done:
+            self._packed = self._kernels.pack(self._items, self._keys)
+            self._done = True
+        return self._packed
+
+
 class PlaneSweeper:
     """Performs (and compensates) bidirectional plane-sweep expansions.
 
@@ -274,6 +366,14 @@ class PlaneSweeper:
         The Section 3.2/3.3 optimizations; both default on.  Turning them
         off fixes the sweep to the x axis, forward — the configuration
         the paper uses as the Figure 11 baseline.
+
+    Distance evaluation inside sweep windows goes through the kernels
+    backend carried by ``instr`` (see :mod:`repro.kernels`): a batched
+    backend evaluates each anchor's candidate window in one call, the
+    pure-Python backend keeps the scalar per-pair path.  Either way every
+    logical distance is counted and charged identically, and (axis,
+    direction) plans are memoized per node pair and cutoff bucket in a
+    :class:`~repro.kernels.plan_cache.SweepPlanCache`.
     """
 
     def __init__(
@@ -283,6 +383,8 @@ class PlaneSweeper:
         optimize_direction: bool = True,
     ) -> None:
         self._instr = instr
+        self._kernels = instr.kernels
+        self._plans = SweepPlanCache()
         self.optimize_axis = optimize_axis
         self.optimize_direction = optimize_direction
 
@@ -305,8 +407,16 @@ class PlaneSweeper:
 
         ``axis_limit`` bounds the scan along the sweeping axis (qDmax in
         B-KDJ, eDmax in the aggressive stage); ``real_limit`` filters on
-        real distance before emitting.  Both are re-read as the sweep
+        real distance before emitting.  Both tighten as the sweep
         proceeds.
+
+        Contract: the state the two cutoff closures read may change
+        *only* through the ``emit`` callback (true for every engine —
+        the closures read result/main queues that nothing else touches
+        while the sweeper runs).  The scan loops rely on this to cache
+        each limit as a float and re-read it only after an emit, which
+        is observably identical to re-reading per pair but removes the
+        dominant per-pair cost of the sweep.
 
         When ``keep_record`` is set, returns an :class:`ExpansionRecord`
         whose ``real_cutoff`` is ``record_real_cutoff`` — pass the real
@@ -315,20 +425,19 @@ class PlaneSweeper:
         compensation pass rechecks in-window pairs.
         """
         select_cutoff = min(axis_limit(), real_limit())
-        axis = (
-            choose_axis(self._instr, a.rect, b.rect, select_cutoff)
-            if self.optimize_axis
-            else 0
-        )
-        forward = (
-            choose_direction(a.rect, b.rect, axis) if self.optimize_direction else True
-        )
-        sorted_r = self._sorted(children_r, axis, forward)
-        sorted_s = self._sorted(children_s, axis, forward)
+        axis, forward = self._plan(a, b, select_cutoff)
+        sorted_r, keys_r = self._sort_side(children_r, axis, forward)
+        sorted_s, keys_s = self._sort_side(children_s, axis, forward)
+        if self._kernels.batched:
+            batch_r = _LazyPack(self._kernels, sorted_r, keys_r)
+            batch_s = _LazyPack(self._kernels, sorted_s, keys_s)
+        else:
+            batch_r = batch_s = None
 
         anchors: list[AnchorScan] | None = [] if keep_record else None
         self._merge_sweep(
-            sorted_r, sorted_s, axis, forward, axis_limit, real_limit, emit, anchors
+            sorted_r, keys_r, batch_r, sorted_s, keys_s, batch_s,
+            axis, forward, axis_limit, real_limit, emit, anchors,
         )
         if not keep_record:
             return None
@@ -344,7 +453,39 @@ class PlaneSweeper:
             anchors=anchors,
             axis_cutoff=axis_limit(),
             real_cutoff=record_real_cutoff,
+            keys_r=keys_r,
+            keys_s=keys_s,
+            batch_r=batch_r,
+            batch_s=batch_s,
         )
+
+    def _plan(self, a: Item, b: Item, select_cutoff: float) -> tuple[int, bool]:
+        """(axis, forward) for a pair, memoized per cutoff bucket.
+
+        A compensation stage revisiting a pair whose cutoff is still in
+        the same power-of-two bucket reuses the stored plan instead of
+        re-running the index integrator and the direction rule; a cutoff
+        that crossed a bucket boundary misses and the plan is recomputed
+        (cache-invalidation-by-key).
+        """
+        if not (self.optimize_axis or self.optimize_direction):
+            return 0, True
+        key = plan_key(a, b, select_cutoff)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._instr.count_plan_cache(hit=True)
+            return plan
+        axis = (
+            choose_axis(self._instr, a.rect, b.rect, select_cutoff)
+            if self.optimize_axis
+            else 0
+        )
+        forward = (
+            choose_direction(a.rect, b.rect, axis) if self.optimize_direction else True
+        )
+        self._instr.count_plan_cache(hit=False)
+        self._plans.put(key, (axis, forward))
+        return axis, forward
 
     def compensate(
         self,
@@ -370,35 +511,58 @@ class PlaneSweeper:
         """
         old_real = record.real_cutoff
         axis, forward = record.axis, record.forward
+        instr = self._instr
+        axis_lim = axis_limit()
+        real_lim = real_limit()
         for scan in record.anchors:
-            own, other = (
-                (record.sorted_r, record.sorted_s)
-                if scan.from_r
-                else (record.sorted_s, record.sorted_r)
-            )
+            if scan.from_r:
+                own = record.sorted_r
+                other = record.sorted_s
+                other_keys = record.keys_s
+                other_batch = record.batch_s
+            else:
+                own = record.sorted_s
+                other = record.sorted_r
+                other_keys = record.keys_r
+                other_batch = record.batch_r
             anchor = own[scan.anchor_pos]
             anchor_end = self._end(anchor, axis, forward)
+            anchor_rect = anchor.rect
             begin = scan.start if old_real is not None else scan.resume
             old_resume = scan.resume
-            new_resume = len(other)
-            for idx in range(begin, len(other)):
-                m = other[idx]
-                gap = self._key(m, axis, forward) - anchor_end
-                if gap < 0.0:
-                    gap = 0.0
-                self._instr.count_axis()
-                if gap > axis_limit():
+            n = len(other)
+            window, wn = self._window(
+                other_batch, other_keys, begin, n, anchor_end, anchor_rect, axis_lim
+            )
+            axis_checked = 0
+            real_done = 0
+            new_resume = n
+            for idx in range(begin, n):
+                axis_checked += 1
+                if other_keys[idx] - anchor_end > axis_lim:
                     new_resume = idx
                     break
-                real = self._instr.real_distance(anchor.rect, m.rect)
+                off = idx - begin
+                real = (
+                    window[off]
+                    if off < wn
+                    else min_distance(anchor_rect, other[idx].rect)
+                )
+                real_done += 1
                 if idx < old_resume:
                     # Examined before: recover only what the old (unsafe)
                     # real cutoff rejected.
                     assert old_real is not None
-                    if real > old_real and real <= real_limit():
-                        self._emit_oriented(anchor, m, real, scan.from_r, emit)
-                elif real <= real_limit():
-                    self._emit_oriented(anchor, m, real, scan.from_r, emit)
+                    if real > old_real and real <= real_lim:
+                        self._emit_oriented(anchor, other[idx], real, scan.from_r, emit)
+                        axis_lim = axis_limit()
+                        real_lim = real_limit()
+                elif real <= real_lim:
+                    self._emit_oriented(anchor, other[idx], real, scan.from_r, emit)
+                    axis_lim = axis_limit()
+                    real_lim = real_limit()
+            instr.count_axis(axis_checked)
+            instr.count_real(real_done)
             scan.resume = max(old_resume, new_resume)
         record.axis_cutoff = axis_limit()
         record.real_cutoff = new_record_real_cutoff
@@ -406,8 +570,71 @@ class PlaneSweeper:
     # -- internals ------------------------------------------------------
 
     def _sorted(self, items: list[Item], axis: int, forward: bool) -> list[Item]:
+        return self._sort_side(items, axis, forward)[0]
+
+    def _sort_side(
+        self, items: list[Item], axis: int, forward: bool
+    ) -> tuple[list[Item], list[float]]:
+        """Sort one child list and return it with its sweep keys.
+
+        Decorate-sort-undecorate on (key, original index): ties order by
+        index, which is exactly the stable order ``sorted(key=...)``
+        produces, and each key is computed once instead of per
+        comparison.  The keys list is what the scan loops and the packed
+        kernels index into.
+        """
         self._instr.charge_sort(len(items))
-        return sorted(items, key=lambda it: self._key(it, axis, forward))
+        if forward:
+            keyed = sorted((it.rect.lo(axis), i) for i, it in enumerate(items))
+        else:
+            keyed = sorted((-it.rect.hi(axis), i) for i, it in enumerate(items))
+        return [items[i] for _, i in keyed], [k for k, _ in keyed]
+
+    def _window(
+        self,
+        batch,
+        keys: list[float],
+        start: int,
+        n: int,
+        anchor_end: float,
+        anchor_rect: Rect,
+        limit: float,
+    ) -> tuple[list[float] | None, int]:
+        """Precompute one anchor's window distances, when worth batching.
+
+        The window is planned with the axis cutoff as of anchor entry;
+        cutoffs only tighten during a sweep, so the plan can overshoot
+        the final stop position (wasted arithmetic, never charged) but
+        the scan loop still decides every stop per pair.  Pairs past the
+        planned window fall back to the scalar kernel, which is
+        bit-identical.
+
+        Before touching the backend, a single Python list lookup checks
+        whether even ``min_window`` pairs can fall inside the cutoff —
+        most anchors fail this and skip the per-call kernel overhead
+        (searchsorted plus array slicing) entirely.
+        """
+        if batch is None:
+            return None, 0
+        probe = start + self._kernels.min_window
+        hi_key = anchor_end + limit
+        if probe > n or keys[probe - 1] > hi_key:
+            return None, 0
+        packed = batch.get()
+        if packed is None:
+            return None, 0
+        if math.isinf(limit):
+            stop = n
+        else:
+            stop = self._kernels.window_stop(packed, hi_key)
+            if stop > n:
+                stop = n
+        wn = stop - start
+        if wn < self._kernels.min_window:
+            return None, 0
+        window = self._kernels.window_mindist(packed, start, stop, anchor_rect)
+        self._instr.count_kernel_batch(wn)
+        return window, wn
 
     @staticmethod
     def _key(item: Item, axis: int, forward: bool) -> float:
@@ -432,7 +659,11 @@ class PlaneSweeper:
     def _merge_sweep(
         self,
         sorted_r: list[Item],
+        keys_r: list[float],
+        batch_r,
         sorted_s: list[Item],
+        keys_s: list[float],
+        batch_s,
         axis: int,
         forward: bool,
         axis_limit: CutoffFn,
@@ -444,22 +675,20 @@ class PlaneSweeper:
         i = j = 0
         n_r, n_s = len(sorted_r), len(sorted_s)
         while i < n_r and j < n_s:
-            from_r = self._key(sorted_r[i], axis, forward) <= self._key(
-                sorted_s[j], axis, forward
-            )
+            from_r = keys_r[i] <= keys_s[j]
             if from_r:
                 anchor, own_pos = sorted_r[i], i
                 start = j
-                other = sorted_s
+                other, other_keys, other_batch = sorted_s, keys_s, batch_s
                 i += 1
             else:
                 anchor, own_pos = sorted_s[j], j
                 start = i
-                other = sorted_r
+                other, other_keys, other_batch = sorted_r, keys_r, batch_r
                 j += 1
             resume = self._scan(
-                anchor, other, start, axis, forward, axis_limit, real_limit,
-                emit, from_r,
+                anchor, other, other_keys, other_batch, start, axis, forward,
+                axis_limit, real_limit, emit, from_r,
             )
             if anchors is not None:
                 anchors.append(AnchorScan(from_r, own_pos, start, resume))
@@ -468,6 +697,8 @@ class PlaneSweeper:
         self,
         anchor: Item,
         other: list[Item],
+        other_keys: list[float],
+        other_batch,
         start: int,
         axis: int,
         forward: bool,
@@ -478,20 +709,45 @@ class PlaneSweeper:
     ) -> int:
         """SweepPruning: pair the anchor with nodes within the cutoff.
 
+        Real distances come from the batched window when the kernels
+        backend packed one (bit-identical to the scalar path).  Both
+        cutoffs are cached as floats and refreshed only after an emit —
+        exact, because only the emit callback can move them (see
+        :meth:`expand`) — so the scan stops, emits and counts exactly
+        as a per-pair re-reading sweep does.
+
         Returns the index of the first node *not* examined (the resume
         position for compensation), ``len(other)`` when the scan
         exhausted the list.
         """
+        instr = self._instr
         anchor_end = self._end(anchor, axis, forward)
-        for idx in range(start, len(other)):
-            m = other[idx]
-            gap = self._key(m, axis, forward) - anchor_end
-            if gap < 0.0:
-                gap = 0.0
-            self._instr.count_axis()
-            if gap > axis_limit():
-                return idx
-            real = self._instr.real_distance(anchor.rect, m.rect)
-            if real <= real_limit():
-                self._emit_oriented(anchor, m, real, anchor_from_r, emit)
-        return len(other)
+        anchor_rect = anchor.rect
+        n = len(other)
+        axis_lim = axis_limit()
+        real_lim = real_limit()
+        window, wn = self._window(
+            other_batch, other_keys, start, n, anchor_end, anchor_rect, axis_lim
+        )
+        axis_checked = 0
+        real_done = 0
+        stop = n
+        for idx in range(start, n):
+            axis_checked += 1
+            # Unclamped gap: for the nonnegative limits the engines pass,
+            # ``raw > limit`` and ``max(0, raw) > limit`` are the same test.
+            if other_keys[idx] - anchor_end > axis_lim:
+                stop = idx
+                break
+            off = idx - start
+            real = (
+                window[off] if off < wn else min_distance(anchor_rect, other[idx].rect)
+            )
+            real_done += 1
+            if real <= real_lim:
+                self._emit_oriented(anchor, other[idx], real, anchor_from_r, emit)
+                axis_lim = axis_limit()
+                real_lim = real_limit()
+        instr.count_axis(axis_checked)
+        instr.count_real(real_done)
+        return stop

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.geometry.distances import axis_distance, min_distance
 from repro.geometry.rect import Rect
+from repro.kernels import resolve_backend
 from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import SimulatedDisk
 
@@ -155,6 +156,7 @@ class Instruments:
         accessor_s: "TreeAccessor",
         tracer: "Tracer | NullTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        kernels=None,
     ) -> None:
         self.disk = disk
         self.accessor_r = accessor_r
@@ -162,6 +164,22 @@ class Instruments:
         self.real_distance_computations = 0
         self.axis_distance_computations = 0
         self.main_queue = None  # attached by JoinContext once built
+        # The batched-kernels backend (repro.kernels).  A backend only
+        # changes *how* distance arithmetic runs; every logical distance
+        # is still counted and charged here, so the simulated cost model
+        # is backend-invariant.
+        if kernels is None or isinstance(kernels, str):
+            kernels = resolve_backend(kernels)
+        self.kernels = kernels
+        self.kernel_batches = 0
+        self.kernel_batched_pairs = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        # Tagged packed-rect cache for mindist_batch: callers that batch
+        # the same (immutable) rect list repeatedly — HS re-expanding a
+        # node against many partners — pass a stable tag so the backend
+        # packs the coordinate arrays once per node, not once per call.
+        self._packs: dict[object, object] = {}
         # Observability rides the same choke point as the counters: the
         # engines read the tracer and registry from here, so a run's
         # trace can never describe a different environment than its
@@ -196,6 +214,100 @@ class Instruments:
         """Count ``n`` axis-distance computations done inline by a sweep."""
         self.axis_distance_computations += n
         self.disk.charge_cpu(n * self.disk.cost_model.cpu_axis_distance)
+
+    def count_real(self, n: int) -> None:
+        """Count ``n`` real-distance computations done by a batched kernel.
+
+        The charge is ``n * cpu_real_distance`` — per *logical* distance,
+        exactly as if :meth:`real_distance` had run ``n`` times — so the
+        simulated clock cannot drift between kernel backends.
+        """
+        if n:
+            self.real_distance_computations += n
+            self.disk.charge_cpu(n * self.disk.cost_model.cpu_real_distance)
+
+    def mindist_batch(
+        self, rect: Rect, rects: list[Rect], tag: object = None
+    ) -> list[float]:
+        """Counted batch of minimum distances from ``rect`` to ``rects``.
+
+        ``tag``, when given, memoizes the packed coordinate arrays for
+        this exact rect list (the caller promises the tag uniquely and
+        stably identifies it for this join run), so repeated batches over
+        the same node's children skip the array-building cost.
+        """
+        n = len(rects)
+        self.count_real(n)
+        if self.kernels.batched and n >= self.kernels.min_window:
+            self.count_kernel_batch(n)
+            return self.kernels.mindist_packed(rect, self._packed_for(rects, tag))
+        return self.kernels.mindist_batch(rect, rects)
+
+    def mindist_within(
+        self, rect: Rect, rects: list[Rect], bound: float, tag: object = None
+    ) -> list[tuple[int, float]]:
+        """Counted bounded batch: ``(index, distance)`` pairs within ``bound``.
+
+        Every one of the ``len(rects)`` logical distances is counted and
+        charged — the bound only filters what crosses back into Python,
+        not what the simulated cost model sees.  ``tag`` memoizes packing
+        exactly as in :meth:`mindist_batch`.
+        """
+        n = len(rects)
+        self.count_real(n)
+        if self.kernels.batched and n >= self.kernels.min_window:
+            self.count_kernel_batch(n)
+            return self.kernels.mindist_packed_within(
+                rect, self._packed_for(rects, tag), bound
+            )
+        return self.kernels.mindist_within(rect, rects, bound)
+
+    def mindist_within_items(
+        self, rect: Rect, items, bound: float, tag: object = None
+    ) -> list[tuple[int, float]]:
+        """:meth:`mindist_within` over ``.rect``-bearing items.
+
+        Extracting the rect list is deferred until a backend actually
+        needs it, so a tagged pack-cache hit — the common case when a
+        node is re-expanded against many partners — touches no item at
+        all.
+        """
+        n = len(items)
+        self.count_real(n)
+        if self.kernels.batched and n >= self.kernels.min_window:
+            packed = self._packs.get(tag) if tag is not None else None
+            if packed is None:
+                packed = self.kernels.pack_rects([item.rect for item in items])
+                if tag is not None:
+                    self._packs[tag] = packed
+            self.count_kernel_batch(n)
+            return self.kernels.mindist_packed_within(rect, packed, bound)
+        return self.kernels.mindist_within(
+            rect, [item.rect for item in items], bound
+        )
+
+    def _packed_for(self, rects: list[Rect], tag: object):
+        if tag is None:
+            return self.kernels.pack_rects(rects)
+        packed = self._packs.get(tag)
+        if packed is None:
+            packed = self.kernels.pack_rects(rects)
+            self._packs[tag] = packed
+        return packed
+
+    def count_kernel_batch(self, n: int) -> None:
+        """Record one vectorized kernel call covering ``n`` pairs."""
+        self.kernel_batches += 1
+        self.kernel_batched_pairs += n
+        if self.metrics is not None:
+            self.metrics.histogram("kernel_batch_size").observe(float(n))
+
+    def count_plan_cache(self, hit: bool) -> None:
+        """Record a sweep-plan cache lookup."""
+        if hit:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
 
     # -- sorting --------------------------------------------------------
 
@@ -234,6 +346,14 @@ class Instruments:
                 stats.extra["spill_write_failures"] = float(
                     queue_stats.spill_write_failures
                 )
+        if self.kernel_batches:
+            # Sum-mergeable (JoinStats.merge adds numeric extras), so
+            # parallel workers' kernel telemetry aggregates correctly.
+            stats.extra["kernels.batches"] = float(self.kernel_batches)
+            stats.extra["kernels.batched_pairs"] = float(self.kernel_batched_pairs)
+        if self.plan_cache_hits or self.plan_cache_misses:
+            stats.extra["kernels.plan_cache_hits"] = float(self.plan_cache_hits)
+            stats.extra["kernels.plan_cache_misses"] = float(self.plan_cache_misses)
         if self.metrics is not None:
             # Snapshot fields are all sum-mergeable by construction, so
             # JoinStats.merge aggregates worker registries correctly.

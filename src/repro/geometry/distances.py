@@ -20,6 +20,13 @@ def min_distance(a: Rect, b: Rect) -> float:
     otherwise the distance between the closest pair of boundary points.
     For two degenerate (point) rectangles it is the ordinary point
     distance, so object pairs and node pairs share one definition.
+
+    The hypotenuse is computed as ``sqrt(dx*dx + dy*dy)`` rather than
+    ``math.hypot``: the batched kernels (:mod:`repro.kernels`) must
+    produce bit-identical distances from NumPy, and ``np.hypot`` rounds
+    differently from ``math.hypot`` while the naive form agrees exactly.
+    Coordinates here are far from the overflow range where ``hypot``'s
+    extra care would matter.
     """
     dx = max(a.xmin - b.xmax, b.xmin - a.xmax, 0.0)
     dy = max(a.ymin - b.ymax, b.ymin - a.ymax, 0.0)
@@ -27,7 +34,7 @@ def min_distance(a: Rect, b: Rect) -> float:
         return dy
     if dy == 0.0:
         return dx
-    return math.hypot(dx, dy)
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def max_distance(a: Rect, b: Rect) -> float:
@@ -39,7 +46,8 @@ def max_distance(a: Rect, b: Rect) -> float:
     """
     dx = max(a.xmax - b.xmin, b.xmax - a.xmin)
     dy = max(a.ymax - b.ymin, b.ymax - a.ymin)
-    return math.hypot(dx, dy)
+    # Naive sqrt form, matching min_distance and the batched kernels.
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def axis_distance(a: Rect, b: Rect, axis: int) -> float:

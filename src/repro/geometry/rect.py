@@ -171,20 +171,25 @@ class Rect:
     # ------------------------------------------------------------------
 
     def min_dist(self, other: "Rect") -> float:
-        """Minimum Euclidean distance between the two closed rectangles."""
+        """Minimum Euclidean distance between the two closed rectangles.
+
+        Uses the naive ``sqrt(dx*dx + dy*dy)`` form in lockstep with
+        :func:`repro.geometry.distances.min_distance` and the batched
+        kernels, which must all agree bit-for-bit.
+        """
         dx = max(self.xmin - other.xmax, other.xmin - self.xmax, 0.0)
         dy = max(self.ymin - other.ymax, other.ymin - self.ymax, 0.0)
         if dx == 0.0:
             return dy
         if dy == 0.0:
             return dx
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     def max_dist(self, other: "Rect") -> float:
         """Maximum Euclidean distance between points of the rectangles."""
         dx = max(self.xmax - other.xmin, other.xmax - self.xmin)
         dy = max(self.ymax - other.ymin, other.ymax - self.ymin)
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     def axis_dist(self, other: "Rect", axis: int) -> float:
         """Separation of the projections on ``axis``; zero when they overlap."""

@@ -1,0 +1,69 @@
+"""Sweep-plan cache: memoized (axis, direction) choices per node pair.
+
+``choose_axis`` runs the Equation (2) integrator per axis and
+``choose_direction`` sorts four interval endpoints; when a multi-stage
+engine revisits a node pair (a compensation stage re-enqueues it, or the
+same pair is expanded again under a similar cutoff) that work is pure
+recomputation.  The cache keys a plan by the pair's identity *and* a
+power-of-two bucket of the selection cutoff: the sweeping index is a
+smooth function of the cutoff, so within one binary order of magnitude
+the arg-min axis is stable, while a cutoff that has tightened past a
+bucket boundary invalidates the entry and the plan is recomputed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.pairs import Item
+
+#: Bucket codes for the cutoffs where ``frexp`` is unusable.
+_BUCKET_ZERO = -(1 << 30)
+_BUCKET_INF = 1 << 30
+
+
+def cutoff_bucket(cutoff: float) -> int:
+    """Power-of-two bucket of a cutoff: ``frexp`` exponent.
+
+    Cutoffs in ``[2^(e-1), 2^e)`` share bucket ``e``.  Non-positive (or
+    NaN) cutoffs and infinity get dedicated sentinel buckets.
+    """
+    if not cutoff > 0.0:  # also catches NaN
+        return _BUCKET_ZERO
+    if math.isinf(cutoff):
+        return _BUCKET_INF
+    return math.frexp(cutoff)[1]
+
+
+def plan_key(a: "Item", b: "Item", cutoff: float) -> tuple:
+    """Cache key for the pair ``(a, b)`` under ``cutoff``.
+
+    Sides are kept ordered (R first, as the engines pass them): refs are
+    page ids scoped to their own tree, so mixing sides would alias
+    unrelated pairs.  Levels disambiguate node pages from object ids.
+    """
+    return (a.level, a.ref, b.level, b.ref, cutoff_bucket(cutoff))
+
+
+class SweepPlanCache:
+    """A per-sweeper dictionary of ``plan_key -> (axis, forward)``.
+
+    Lives for one engine run (one :class:`PlaneSweeper`), so entries
+    never leak across simulated environments.
+    """
+
+    __slots__ = ("_plans",)
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple, tuple[int, bool]] = {}
+
+    def get(self, key: tuple) -> tuple[int, bool] | None:
+        return self._plans.get(key)
+
+    def put(self, key: tuple, plan: tuple[int, bool]) -> None:
+        self._plans[key] = plan
+
+    def __len__(self) -> int:
+        return len(self._plans)

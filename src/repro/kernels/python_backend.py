@@ -1,0 +1,52 @@
+"""Pure-Python kernels backend.
+
+The fallback when NumPy is unavailable (or ``REPRO_KERNELS=python``).
+There is nothing to vectorize with, so :meth:`PythonKernels.pack`
+returns ``None`` and the sweeper keeps its scalar per-pair path; the
+batch entry points are plain comprehensions over the scalar distance
+functions, which makes backend equivalence true by construction.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.distances import max_distance, min_distance
+
+
+class PythonKernels:
+    """Scalar reference implementation of the kernel API."""
+
+    name = "python"
+    #: Whether :meth:`pack` produces windows the sweeper can evaluate in
+    #: one call.  False here: sweeps run their scalar fallback per pair.
+    batched = False
+    #: Smallest window worth batching (unused — kept for API parity).
+    min_window = 0
+
+    def mindist_batch(self, rect, rects) -> list[float]:
+        return [min_distance(rect, other) for other in rects]
+
+    def pack_rects(self, rects):
+        """No packing: the scalar path iterates the list as-is."""
+        return rects
+
+    def mindist_packed(self, rect, packed) -> list[float]:
+        return [min_distance(rect, other) for other in packed]
+
+    def mindist_within(self, rect, rects, bound) -> list[tuple[int, float]]:
+        """``(index, distance)`` for every rect within ``bound``."""
+        out = []
+        for i, other in enumerate(rects):
+            real = min_distance(rect, other)
+            if real <= bound:
+                out.append((i, real))
+        return out
+
+    def mindist_packed_within(self, rect, packed, bound) -> list[tuple[int, float]]:
+        return self.mindist_within(rect, packed, bound)
+
+    def maxdist_batch(self, rect, rects) -> list[float]:
+        return [max_distance(rect, other) for other in rects]
+
+    def pack(self, items, keys):
+        """No packed representation; the sweeper stays scalar."""
+        return None

@@ -9,13 +9,20 @@ have been seen, the cutoff is infinite.
 
 from __future__ import annotations
 
+import heapq
 import math
-
-from repro.queues.binary_heap import MaxHeap
 
 
 class DistanceQueue:
     """Max-heap bounded to ``k`` entries, exposing the cutoff ``qDmax``.
+
+    Backed by :mod:`heapq` over *negated* distances (a min-heap of
+    negatives is a max-heap), with the cutoff cached as a plain
+    attribute.  Both choices are pure hot-path mechanics: the engines
+    read ``cutoff`` several times per queue operation (every sweep limit
+    and insertion guard goes through qDmax), and the retained multiset —
+    the k smallest distances seen — is the same whatever the heap's
+    internal layout, so this cannot change any result stream.
 
     Parameters
     ----------
@@ -28,27 +35,30 @@ class DistanceQueue:
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k
-        self._heap: MaxHeap[float] = MaxHeap()
+        self._neg: list[float] = []
+        self._cutoff = math.inf
         self.insertions = 0
 
     def insert(self, distance: float) -> None:
         """Offer a distance; keeps only the k smallest seen so far."""
         self.insertions += 1
-        if len(self._heap) < self.k:
-            self._heap.push(distance)
-        else:
-            self._heap.pushpop(distance)
+        neg = self._neg
+        if len(neg) < self.k:
+            heapq.heappush(neg, -distance)
+            if len(neg) == self.k:
+                self._cutoff = -neg[0]
+        elif distance < self._cutoff:
+            heapq.heapreplace(neg, -distance)
+            self._cutoff = -neg[0]
 
     @property
     def cutoff(self) -> float:
         """``qDmax``: the k-th smallest distance seen, or ``inf`` if < k."""
-        if len(self._heap) < self.k:
-            return math.inf
-        return self._heap.peek()[0]
+        return self._cutoff
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._neg)
 
     def distances(self) -> list[float]:
         """All retained distances, unordered (for tests and diagnostics)."""
-        return [key for key, _ in self._heap]
+        return [-value for value in self._neg]

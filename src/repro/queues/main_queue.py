@@ -59,6 +59,7 @@ produces:
 
 from __future__ import annotations
 
+import heapq
 import math
 import os
 import pickle
@@ -69,7 +70,6 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs.tracer import NULL_TRACER
-from repro.queues.binary_heap import MinHeap
 from repro.resilience.errors import SpillCorruptionError
 from repro.storage.disk import SimulatedDisk
 
@@ -161,7 +161,23 @@ class MainQueue:
         self._entry_bytes = entry_bytes
         self._capacity = max(memory_bytes // entry_bytes, 4)
         self._rho = rho
-        self._heap: MinHeap[float] = MinHeap()
+        # In-memory heap: (distance, seq, payload) triples under
+        # :mod:`heapq`.  The unique ``seq`` breaks distance ties so a
+        # comparison never reaches the (unorderable) payload.  It counts
+        # *down*: among equal distances the most recent insertion pops
+        # first, which keeps a traversal descending through a tie block
+        # (e.g. overlapping node pairs at distance 0) instead of
+        # expanding its whole frontier breadth-first — small-k joins are
+        # orders of magnitude faster under the recency order.  Segments
+        # keep the plain ``(distance, payload)`` pairs — the spill format
+        # is unchanged; seqs are minted fresh whenever entries re-enter
+        # the heap.
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+        # Last segment an insert routed to: consecutive spilled inserts
+        # cluster by distance, so most lookups hit this one-entry memo.
+        # Cleared by anything that drops or re-ranges a segment.
+        self._last_segment: _Segment | None = None
         # Split segments: carved out of the memory range, always strictly
         # below every live formula segment; kept sorted ascending by lo.
         self._split_segments: list[_Segment] = []
@@ -224,7 +240,8 @@ class MainQueue:
             segment.entries = []
         self._split_segments = []
         self._formula_segments = {}
-        self._heap = MinHeap()
+        self._last_segment = None
+        self._heap = []
         self._size = 0
 
     def __enter__(self) -> "MainQueue":
@@ -239,7 +256,8 @@ class MainQueue:
         self._size += 1
         self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
         if distance < self._mem_bound:
-            self._heap.push(distance, payload)
+            self._seq -= 1
+            heapq.heappush(self._heap, (distance, self._seq, payload))
             if len(self._heap) > self._capacity:
                 self._split()
         else:
@@ -275,13 +293,14 @@ class MainQueue:
         self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
         if self._depth_hist is not None:
             self._depth_hist.observe(self._size)
-        return self._heap.pop()
+        distance, _, payload = heapq.heappop(self._heap)
+        return distance, payload
 
     def peek_key(self) -> float:
         """Smallest distance currently queued (swapping in if needed)."""
         while not self._heap:
             self._swap_in()
-        return self._heap.peek()[0]
+        return self._heap[0][0]
 
     def _new_spill_path(self) -> Path:
         assert self._spill_dir is not None
@@ -320,7 +339,7 @@ class MainQueue:
         at or above the bound by construction.)
         """
         if self._heap:
-            heap_max = max(key for key, _ in self._heap)
+            heap_max = max(entry[0] for entry in self._heap)
             if heap_max > self._mem_bound:
                 return False
         for segment in self._all_segments():
@@ -451,13 +470,18 @@ class MainQueue:
 
     def _segment_for(self, distance: float) -> _Segment:
         """Find or create the segment whose range contains ``distance``."""
+        cached = self._last_segment
+        if cached is not None and cached.lo <= distance < cached.hi:
+            return cached
         for segment in self._split_segments:
             if segment.lo <= distance < segment.hi:
+                self._last_segment = segment
                 return segment
         if self._rho is None:
             # Split-only mode: one open-ended overflow pile.
             segment = _Segment(self._mem_bound, math.inf)
             self._split_segments.append(segment)
+            self._last_segment = segment
             return segment
         index = int(distance * distance / (self._capacity * self._rho))
         index = min(max(index, 1), MAX_FORMULA_SEGMENTS - 1)
@@ -476,12 +500,33 @@ class MainQueue:
         if segment is None:
             segment = _Segment(self._boundary(index), self._boundary(index + 1))
             self._formula_segments[index] = segment
+        self._last_segment = segment
         return segment
+
+    def _fresh_heap(
+        self, entries: list[tuple[float, Any]]
+    ) -> list[tuple[float, int, Any]]:
+        """Build a heap from ``(distance, payload)`` pairs with fresh seqs.
+
+        Seqs come off the shared counter so they are unique across the
+        queue's lifetime — two triples can never compare equal through
+        ``(distance, seq)``, which is what keeps payloads out of every
+        comparison.
+        """
+        seq = self._seq
+        heap = [
+            (distance, seq - i, payload)
+            for i, (distance, payload) in enumerate(entries)
+        ]
+        self._seq = seq - len(heap)
+        heapq.heapify(heap)
+        return heap
 
     def _split(self) -> None:
         """Move the longer-distance half of a full heap to disk."""
         self.stats.splits += 1
-        items = self._heap.drain()
+        items = [(distance, payload) for distance, _, payload in self._heap]
+        self._heap = []
         items.sort(key=lambda item: item[0])
         self._charge_sort(len(items))
         keep = len(items) // 2
@@ -496,7 +541,8 @@ class MainQueue:
         kept, moved = items[:keep], items[keep:]
         old_bound = self._mem_bound
         self._mem_bound = moved[0][0]
-        self._heap = MinHeap(kept)
+        self._last_segment = None
+        self._heap = self._fresh_heap(kept)
         segment = _Segment(self._mem_bound, old_bound)
         if self._spill_dir is None or not self._write_segment(segment, moved):
             segment.entries = moved
@@ -511,6 +557,7 @@ class MainQueue:
 
     def _next_segment(self) -> _Segment | None:
         """The nearest non-empty segment, dropping exhausted ones."""
+        self._last_segment = None
         while self._split_segments and not self._split_segments[0].total():
             self._split_segments.pop(0)
         if self._split_segments:
@@ -542,13 +589,13 @@ class MainQueue:
         self._disk.sequential_read(self._pages_for(len(entries)))
         self._charge_sort(len(entries))
         if len(entries) <= self._capacity:
-            self._heap = MinHeap(entries)
+            self._heap = self._fresh_heap(entries)
             self._mem_bound = segment.hi
             segment.entries = []
             self._drop(segment)
         else:
             entries.sort(key=lambda item: item[0])
-            self._heap = MinHeap(entries[: self._capacity])
+            self._heap = self._fresh_heap(entries[: self._capacity])
             remainder = entries[self._capacity :]
             segment.lo = remainder[0][0]
             segment.staged_since_flush = 0
@@ -560,6 +607,8 @@ class MainQueue:
             self._disk.sequential_write(self._pages_for(len(remainder)))
 
     def _drop(self, segment: _Segment) -> None:
+        if self._last_segment is segment:
+            self._last_segment = None
         if self._split_segments and self._split_segments[0] is segment:
             self._split_segments.pop(0)
             return

@@ -47,9 +47,12 @@ class BufferPool:
         Simulated disk charged one random read per miss.
     capacity_bytes:
         Buffer memory; divided by the cost model's page size to get the
-        frame count.  ``0`` disables caching entirely (every access is a
-        physical read), which models the paper's parenthesized
-        "no buffer" numbers.
+        frame count, rounding *up* to one frame for any positive
+        capacity — a caller that asked for a small-but-nonzero buffer
+        gets a one-page cache, not a silent "no buffer" downgrade.
+        ``0`` disables caching entirely (every access is a physical
+        read), which models the paper's parenthesized "no buffer"
+        numbers.
     """
 
     def __init__(
@@ -60,6 +63,8 @@ class BufferPool:
         self._store = store
         self._disk = disk
         self._frames = capacity_bytes // disk.cost_model.page_size
+        if capacity_bytes > 0 and self._frames == 0:
+            self._frames = 1
         self._lru: OrderedDict[int, Any] = OrderedDict()
         self.stats = BufferStats()
 
@@ -85,10 +90,14 @@ class BufferPool:
 
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache (after an in-place node update)."""
+        if self._frames == 0:
+            return
         self._lru.pop(page_id, None)
 
     def clear(self) -> None:
         """Empty the cache without touching the counters."""
+        if self._frames == 0:
+            return
         self._lru.clear()
 
     def reset_stats(self) -> None:

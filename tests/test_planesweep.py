@@ -88,6 +88,123 @@ class TestSweepingIndex:
         with pytest.raises(ValueError):
             table1_sweeping_index(Rect(0, 0, 2, 1), Rect(1, 0, 3, 1), 0, 1.0)
 
+    # Extents are either exactly degenerate (0.0) or bounded away from
+    # the subnormal regime: mixing a ~1e-160 extent with O(1) gaps makes
+    # *any* algebraic rearrangement of Equation (2) lose all precision
+    # after normalization, so that regime is outside the agreement
+    # contract (the index only steers axis choice there anyway).
+    _extent = st.one_of(st.just(0.0), st.floats(1e-3, 50))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        _extent,               # |r| (0 allowed: degenerate sweeping node)
+        _extent,               # |s| (0 allowed: degenerate point target)
+        st.floats(0.001, 20),  # gap alpha (strictly separated)
+        st.floats(0.01, 200),  # cutoff
+    )
+    def test_closed_form_route_on_random_nonoverlapping(
+        self, len_r, len_s, alpha, cutoff
+    ):
+        """The choose_axis fast path must agree with the exact integrator.
+
+        Random non-overlapping (possibly degenerate) rects: the routed
+        closed form — Table 1 over the leading node, trailing term zero —
+        is what the exact Equation (2) integration reduces to.
+        """
+        from repro.core.planesweep import _axis_index_and_cost
+
+        r = Rect(0.0, 0.0, len_r, 1.0)
+        s = Rect(len_r + alpha, 0.0, len_r + alpha + len_s, 1.0)
+        exact = sweeping_index(r, s, 0, cutoff)
+        routed, cost = _axis_index_and_cost(r, s, 0, cutoff)
+        assert math.isclose(routed, exact, rel_tol=1e-9, abs_tol=1e-9)
+        from repro.core.planesweep import CLOSED_FORM_AXIS_COST
+
+        assert cost == CLOSED_FORM_AXIS_COST
+
+    def test_table1_degenerate_s_limit(self):
+        # Point target at gap 3 from r = [0, 2]: positions of the sweep
+        # window containing the point are min(|r|, cutoff - alpha).
+        r, s = Rect(0, 0, 2, 1), Rect(5, 0, 5, 1)
+        assert table1_sweeping_index(r, s, 0, 2.0) == 0.0   # below the gap
+        assert table1_sweeping_index(r, s, 0, 4.0) == 1.0   # partial ramp
+        assert table1_sweeping_index(r, s, 0, 50.0) == 2.0  # saturated at |r|
+        # and it matches the exact integrator (normalized by |r|)
+        for cutoff in (2.0, 3.5, 4.0, 6.0, 50.0):
+            exact = sweeping_index(r, s, 0, cutoff)
+            assert math.isclose(
+                exact, table1_sweeping_index(r, s, 0, cutoff) / 2.0, abs_tol=1e-12
+            )
+
+
+def _numeric_index_term(a_lo, a_hi, b_lo, b_hi, cutoff, steps=20_000):
+    """Midpoint-rule integration of Equation (2)'s integrand."""
+    if cutoff <= 0.0 or a_hi <= a_lo:
+        return 0.0
+    width = b_hi - b_lo
+    total = 0.0
+    h = (a_hi - a_lo) / steps
+    for i in range(steps):
+        t = a_lo + (i + 0.5) * h
+        overlap = min(t + cutoff, b_hi) - max(t, b_lo)
+        if width > 0:
+            total += max(0.0, overlap) / width * h
+        else:
+            # Degenerate b: indicator of the window containing the point.
+            total += h if b_lo - cutoff <= t <= b_lo else 0.0
+    return total
+
+
+class TestIndexTermNumericRegression:
+    """Regression: the analytic terms must match numeric integration,
+    including every degenerate-extent combination (the incommensurability
+    class of bug the normalization exists to prevent)."""
+
+    CASES = [
+        # (a_lo, a_hi, b_lo, b_hi, cutoff)
+        (0.0, 2.0, 5.0, 8.0, 6.0),     # disjoint, regular
+        (0.0, 4.0, 2.0, 9.0, 1.5),     # overlapping
+        (0.0, 4.0, 1.0, 3.0, 0.7),     # containment
+        (0.0, 2.0, 5.0, 5.0, 6.0),     # degenerate b, reachable
+        (0.0, 2.0, 5.0, 5.0, 1.0),     # degenerate b, out of reach
+        (1.0, 1.0, 3.0, 7.0, 3.0),     # degenerate a inside reach
+        (1.0, 1.0, 3.0, 7.0, 1.0),     # degenerate a out of reach
+        (2.0, 2.0, 2.0, 2.0, 1.0),     # both degenerate, coincident
+        (2.0, 2.0, 4.0, 4.0, 1.0),     # both degenerate, apart
+        (0.0, 10.0, 3.0, 3.0, 2.0),    # degenerate b inside a's span
+    ]
+
+    @pytest.mark.parametrize("a_lo,a_hi,b_lo,b_hi,cutoff", CASES)
+    def test_index_term_matches_numeric(self, a_lo, a_hi, b_lo, b_hi, cutoff):
+        from repro.core.planesweep import _index_term
+
+        analytic = _index_term(a_lo, a_hi, b_lo, b_hi, cutoff)
+        numeric = _numeric_index_term(a_lo, a_hi, b_lo, b_hi, cutoff)
+        assert math.isclose(analytic, numeric, rel_tol=1e-3, abs_tol=1e-3)
+
+    @pytest.mark.parametrize("a_lo,a_hi,b_lo,b_hi,cutoff", CASES)
+    def test_normalized_term_is_a_fraction(self, a_lo, a_hi, b_lo, b_hi, cutoff):
+        """Both branches of _normalized_term return commensurable values:
+        an expected *fraction* in [0, 1], never an un-normalized length."""
+        from repro.core.planesweep import _normalized_term
+
+        value = _normalized_term(a_lo, a_hi, b_lo, b_hi, cutoff)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.floats(0, 10), st.floats(0, 10),
+        st.floats(-5, 15), st.floats(0, 10),
+        st.floats(0.01, 40),
+    )
+    def test_random_terms_match_numeric(self, a_lo, a_len, b_lo, b_len, cutoff):
+        from repro.core.planesweep import _index_term
+
+        a_hi, b_hi = a_lo + a_len, b_lo + b_len
+        analytic = _index_term(a_lo, a_hi, b_lo, b_hi, cutoff)
+        numeric = _numeric_index_term(a_lo, a_hi, b_lo, b_hi, cutoff, steps=4000)
+        assert math.isclose(analytic, numeric, rel_tol=5e-3, abs_tol=5e-3)
+
 
 # ----------------------------------------------------------------------
 # Axis and direction selection

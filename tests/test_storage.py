@@ -164,6 +164,41 @@ class TestBufferPool:
         with pytest.raises(ValueError):
             BufferPool(store, disk, -1)
 
+    def test_subpage_capacity_rounds_up_to_one_frame(self):
+        # A positive capacity below one page must still cache one page,
+        # not silently degrade to "no buffer".
+        store = PageStore()
+        disk = SimulatedDisk()
+        pool = BufferPool(store, disk, disk.cost_model.page_size // 4)
+        assert pool.frame_count == 1
+        pid = store.allocate("x")
+        pool.get(pid)
+        pool.get(pid)
+        assert pool.stats.physical_reads == 1
+        assert pool.stats.hits == 1
+
+    def test_one_byte_capacity_is_one_frame(self):
+        store = PageStore()
+        disk = SimulatedDisk()
+        assert BufferPool(store, disk, 1).frame_count == 1
+
+    def test_exact_multiples_unchanged(self):
+        store = PageStore()
+        disk = SimulatedDisk()
+        page = disk.cost_model.page_size
+        assert BufferPool(store, disk, 0).frame_count == 0
+        assert BufferPool(store, disk, page).frame_count == 1
+        assert BufferPool(store, disk, 3 * page + 7).frame_count == 3
+
+    def test_zero_frame_invalidate_and_clear_are_noops(self):
+        store, _, pool = self._setup(0)
+        pid = store.allocate("x")
+        pool.get(pid)
+        pool.invalidate(pid)  # must not raise or mutate anything
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.stats.logical_accesses == 1
+
 
 class TestSerial:
     def test_fanout_for_4k_pages(self):

@@ -1,15 +1,19 @@
-"""Parallel partitioned engine — scaling against the sequential AM-KDJ.
+"""Parallel engines — scaling against the sequential AM-KDJ.
 
 A 100k-pair workload (20,000 x 20,000 uniform points, k = 100,000) run
-sequentially and with the partitioned engine at 2/4/8 workers in every
-executor mode.  The partitioned engine must return the same result set
-and, at 4 workers, beat the sequential wall clock by at least 1.5x in
-its best mode.
+sequentially, with the tiled partitioned engine and with the zero-copy
+shared-memory work-stealing engine, at 2/4/8 workers in every executor
+mode.  Every parallel row must return the byte-identical result stream;
+at 4 workers the best mode must beat the sequential wall clock by at
+least 1.5x, and the shm rows must stay within 10% of the sequential
+run's real distance computations.
 
 On a single-core host the speedup comes from work reduction, not
 concurrency: the shared global ``qDmax`` turns each partition into a
 bounded range sweep that skips the sequential engine's priority-queue
-traffic entirely (per-op heap costs, splits and swap-ins at large k).
+traffic entirely (per-op heap costs, splits and swap-ins at large k);
+the shm engine additionally evaluates whole node-pair blocks against
+the flat tree buffers with no per-partition tree rebuilds.
 Process/thread rows additionally measure executor overhead, which true
 multi-core hosts recoup.
 """
@@ -25,6 +29,7 @@ N_POINTS = 20_000
 K = 100_000
 WORKERS = (2, 4, 8)
 MODES = ("serial", "thread", "process")
+SHM_MODES = ("shm-serial", "shm-thread", "shm-process")
 
 COLUMNS = [
     "mode",
@@ -55,7 +60,11 @@ def run_scaling() -> list[dict]:
     started = time.perf_counter()
     sequential = k_distance_join(tree_r, tree_s, k=K)
     seq_wall = time.perf_counter() - started
-    seq_set = {(p.distance, p.ref_r, p.ref_s) for p in sequential.results}
+    # Byte-identical stream check: the full sorted pair list must match,
+    # not just the set — duplicates or reordering both fail it.
+    seq_stream = sorted(
+        (p.distance, p.ref_r, p.ref_s) for p in sequential.results
+    )
     rows = [
         {
             "mode": "sequential",
@@ -68,7 +77,7 @@ def run_scaling() -> list[dict]:
             "identical": True,
         }
     ]
-    for mode in MODES:
+    for mode in MODES + SHM_MODES:
         for workers in WORKERS:
             config = JoinConfig(parallel=workers, parallel_mode=mode)
             started = time.perf_counter()
@@ -83,10 +92,10 @@ def run_scaling() -> list[dict]:
                     "dist_comps": result.stats.real_distance_computations,
                     "queue_insertions": result.stats.queue_insertions,
                     "stages": result.stats.extra["parallel_stages"],
-                    "identical": {
+                    "identical": sorted(
                         (p.distance, p.ref_r, p.ref_s) for p in result.results
-                    }
-                    == seq_set,
+                    )
+                    == seq_stream,
                 }
             )
     return rows
@@ -112,3 +121,11 @@ def test_parallel_scaling(benchmark, report):
     assert best_at_4 > 1.5, (
         f"best 4-worker speedup {best_at_4}x, need > 1.5x"
     )
+    seq_comps = next(r for r in rows if r["mode"] == "sequential")["dist_comps"]
+    for row in rows:
+        if row["mode"].startswith("shm-"):
+            assert row["dist_comps"] <= 1.10 * seq_comps, (
+                f"{row['mode']}@{row['workers']}: {row['dist_comps']} real "
+                f"distance computations, sequential did {seq_comps} "
+                "(must stay within 10%)"
+            )

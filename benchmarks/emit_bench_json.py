@@ -1,15 +1,17 @@
 #!/usr/bin/env python
-"""Emit the parallel-scaling benchmark as machine-readable JSON.
+"""Emit the parallel-scaling benchmarks as machine-readable JSON.
 
-CI runs this after the benchmark suite to produce ``BENCH_parallel.json``
-at the repository root: one record per (mode, workers) cell with wall
-time, distance computations and the speedup over the sequential AM-KDJ
-run, plus enough metadata (host CPU count, workload shape) to compare
-runs across machines.
+CI runs this after the benchmark suite to produce two records at the
+repository root — ``BENCH_parallel.json`` for the tiled partitioned
+engine and ``BENCH_shm.json`` for the zero-copy shared-memory
+work-stealing engine — one row per (mode, workers) cell with wall time,
+distance computations and the speedup over the sequential AM-KDJ run,
+plus enough metadata (host CPU counts, workload shape) to compare runs
+across machines.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/emit_bench_json.py [output.json]
+    PYTHONPATH=src python benchmarks/emit_bench_json.py [parallel.json [shm.json]]
 
 The workload is the same one ``bench_parallel_scaling.py`` asserts on:
 20,000 x 20,000 uniform points, k = 100,000.
@@ -27,37 +29,69 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from bench_parallel_scaling import K, N_POINTS, run_scaling  # noqa: E402
 
-DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUTPUT = ROOT / "BENCH_parallel.json"
+DEFAULT_SHM_OUTPUT = ROOT / "BENCH_shm.json"
 
 
-def main(argv: list[str]) -> int:
-    output = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
-    rows = run_scaling()
-    sequential = next(r for r in rows if r["mode"] == "sequential")
-    payload = {
-        "benchmark": "parallel_scaling",
+def _host() -> dict:
+    """Host facts that matter when comparing speedups across machines.
+
+    ``cpu_count`` is the hardware view; ``cpus_available`` is what this
+    process may actually use (cgroup/affinity-limited CI runners report
+    far fewer than the machine has — a 1.8x speedup on 2 available CPUs
+    is a different datum than on 64).
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "cpus_available": available,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def _payload(benchmark: str, rows: list[dict], sequential: dict) -> dict:
+    return {
+        "benchmark": benchmark,
         "workload": {
             "n_r": N_POINTS,
             "n_s": N_POINTS,
             "k": K,
             "distribution": "uniform-points",
         },
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+        "host": _host(),
         "sequential_wall_time_s": sequential["wall_time_s"],
+        "sequential_dist_comps": sequential["dist_comps"],
         "rows": rows,
         "best_speedup_at_4_workers": max(
             r["speedup"] for r in rows if r["workers"] == 4
         ),
     }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {output}")
+
+
+def main(argv: list[str]) -> int:
+    output = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    shm_output = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_SHM_OUTPUT
+    rows = run_scaling()
+    sequential = next(r for r in rows if r["mode"] == "sequential")
+    tiled = [r for r in rows if not r["mode"].startswith("shm-")]
+    shm = [sequential] + [r for r in rows if r["mode"].startswith("shm-")]
+    output.write_text(
+        json.dumps(_payload("parallel_scaling", tiled, sequential), indent=2) + "\n"
+    )
+    shm_payload = _payload("shm_work_stealing", shm, sequential)
+    shm_payload["max_dist_comp_overhead"] = round(
+        max(r["dist_comps"] for r in shm) / sequential["dist_comps"] - 1.0, 4
+    )
+    shm_output.write_text(json.dumps(shm_payload, indent=2) + "\n")
+    print(f"wrote {output} and {shm_output}")
     for row in rows:
         print(
-            f"  {row['mode']:>10s} w={row['workers']}: "
+            f"  {row['mode']:>12s} w={row['workers']}: "
             f"{row['wall_time_s']:7.3f}s  {row['speedup']:5.2f}x  "
             f"identical={row['identical']}"
         )

@@ -71,6 +71,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         queue_memory=args.queue_kb * 1024,
         buffer_memory=args.buffer_kb * 1024,
         parallel=args.parallel,
+        parallel_mode=args.parallel_mode,
         spill_dir=pathlib.Path(args.spill_dir) if args.spill_dir else None,
         trace_path=args.trace,
         trace_format=args.trace_format,
@@ -158,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="result rows to print")
     join.add_argument("--parallel", type=int, default=1,
                       help="worker count for the partitioned engine")
+    join.add_argument("--parallel-mode", default="process",
+                      choices=["process", "thread", "serial",
+                               "shm-process", "shm-thread", "shm-serial"],
+                      help="parallel executor: tiled partitions "
+                           "(process/thread/serial) or the zero-copy "
+                           "shared-memory work-stealing engine (shm-*)")
     join.add_argument("--spill-dir", metavar="DIR", default=None,
                       help="directory for real main-queue spill files "
                            "(default: simulated spill only)")

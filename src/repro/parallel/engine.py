@@ -74,9 +74,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.api import JoinConfig, JoinResult
 
 #: Initial boundary-strip width: the Equation (3) eDmax estimate times
-#: this safety factor (the estimate is an expectation; a modest margin
-#: avoids a second stage on typical uniform data).
-STRIP_SAFETY = 1.5
+#: this safety factor (the estimate is an expectation; a small margin
+#: avoids a second stage on typical uniform data).  Kept tight: every
+#: bit of margin is S replication into neighboring strips, i.e. extra
+#: distance computations the sequential run never does.
+STRIP_SAFETY = 1.15
 
 #: Below this many R objects the partitioned engine falls back to the
 #: sequential run — tiling overhead would dominate.
@@ -569,6 +571,13 @@ def parallel_kdj(
     workers = max(1, config.parallel)
     started = time.perf_counter()
 
+    mode = config.parallel_mode
+    if mode not in ("process", "thread", "serial", "shm-process", "shm-thread", "shm-serial"):
+        raise ValueError(
+            f"unknown parallel_mode {mode!r}; pick 'process', 'thread', 'serial' "
+            "or a zero-copy 'shm-process'/'shm-thread'/'shm-serial'"
+        )
+
     if tree_r.size == 0 or tree_s.size == 0:
         stats = JoinStats(algorithm=f"parallel-{algorithm}", k=k, results=0)
         stats.wall_time = time.perf_counter() - started
@@ -590,6 +599,20 @@ def parallel_kdj(
         result.stats.extra["parallel_fallback"] = True
         return result
 
+    if mode.startswith("shm-"):
+        if algorithm in _SWEEP_ALGORITHMS and dmax is None:
+            from repro.parallel.steal import shm_parallel_kdj
+
+            return shm_parallel_kdj(
+                tree_r, tree_s, k,
+                config=config, algorithm=algorithm,
+                workers=workers, started=started,
+            )
+        # The zero-copy engine only runs the bounded-sweep algorithms;
+        # exact baselines (and a-priori dmax runs) use the tiled
+        # executor of the matching flavor.
+        mode = mode[4:]
+
     s_items = gather_items(tree_s)
     space = tree_r.bounds().union(tree_s.bounds())
     delta_max = math.hypot(space.width, space.height)
@@ -601,11 +624,6 @@ def parallel_kdj(
         delta = delta_max
 
     total = JoinStats(algorithm=f"parallel-{algorithm}", k=k)
-    mode = config.parallel_mode
-    if mode not in ("process", "thread", "serial"):
-        raise ValueError(
-            f"unknown parallel_mode {mode!r}; pick 'process', 'thread' or 'serial'"
-        )
     counters: Counter = Counter()
     # The parent's deadline covers the whole staged run; workers get the
     # same budget via config (each stage's workers start their own clock,
@@ -694,7 +712,10 @@ def parallel_kdj(
                         shifted["ts"] = shifted["ts"] + shift
                         shifted["track"] = trace["track"]
                         tracer.emit(shifted)
-            final = merge_topk(runs, k)
+            # Boundary-strip replication can surface the same pair from
+            # two adjacent partitions; dedupe at the merge so the global
+            # answer never repeats a pair.
+            final = merge_topk(runs, k, dedupe=True)
             tracer.end(stage_name, results=len(final))
             # A worker's cap bounds what it computed; the strip width bounds
             # what it even *saw* (S replication stops at delta).  Both limit

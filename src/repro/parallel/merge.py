@@ -37,9 +37,36 @@ def merge_sorted(runs: Iterable[list[ResultPair]]) -> Iterator[ResultPair]:
     return heapq.merge(*runs, key=pair_key)
 
 
-def merge_topk(runs: Iterable[list[ResultPair]], k: int) -> list[ResultPair]:
-    """The k smallest pairs across all runs, in merged order."""
-    merged = merge_sorted(runs)
+def dedupe_sorted(pairs: Iterable[ResultPair]) -> Iterator[ResultPair]:
+    """Drop exact repeats from a stream sorted by :func:`pair_key`.
+
+    A pair's distance is a function of its object ids, so two workers
+    that both discovered a pair (overlapping boundary strips, a
+    crash-recovery re-run) produced *identical* triples — and in a
+    sorted stream identical triples are adjacent, so one-step lookback
+    removes them without any extra state.
+    """
+    prev: tuple[float, int, int] | None = None
+    for pair in pairs:
+        key = (pair.distance, pair.ref_r, pair.ref_s)
+        if key == prev:
+            continue
+        prev = key
+        yield pair
+
+
+def merge_topk(
+    runs: Iterable[list[ResultPair]], k: int, dedupe: bool = False
+) -> list[ResultPair]:
+    """The k smallest pairs across all runs, in merged order.
+
+    ``dedupe=True`` drops exact repeats across runs first (see
+    :func:`dedupe_sorted`), so replication between workers can never
+    surface the same pair twice in the answer.
+    """
+    merged: Iterator[ResultPair] = merge_sorted(runs)
+    if dedupe:
+        merged = dedupe_sorted(merged)
     return [pair for _, pair in zip(range(k), merged)]
 
 
@@ -68,3 +95,33 @@ class GlobalBound:
     @property
     def is_finite(self) -> bool:
         return not math.isinf(self._queue.cutoff)
+
+    @property
+    def insertions(self) -> int:
+        return self._queue.insertions
+
+
+class PairwiseBound(GlobalBound):
+    """A :class:`GlobalBound` that ignores duplicate pair offers.
+
+    The work-stealing engine re-enqueues a crashed worker's tasks, and a
+    re-run task can re-discover pairs a shed subtask already committed.
+    Offering the same pair's distance twice into a k-bounded queue would
+    deflate the cutoff below the true k-th distance — an unsafe bound —
+    so this variant keys offers by pair identity: the first offer of a
+    pair counts, repeats are rejected (and the caller drops the
+    duplicate result with them).
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k)
+        self._seen: set[tuple[int, int]] = set()
+
+    def offer_pair(self, distance: float, ref_r: int, ref_s: int) -> bool:
+        """Offer one pair; ``False`` means it was already accounted for."""
+        key = (ref_r, ref_s)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._queue.insert(distance)
+        return True

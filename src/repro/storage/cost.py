@@ -20,6 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+#: Modeled CPU seconds one work-stealing task should cost: small enough
+#: that a handful of workers see dozens of tasks to balance, large
+#: enough that per-task dispatch overhead stays negligible.
+SHM_TASK_SECONDS = 0.02
+
+
 @dataclass(frozen=True, slots=True)
 class CostModel:
     """Device and CPU cost parameters for the simulated clock.
@@ -64,6 +70,20 @@ class CostModel:
         if nbytes <= 0:
             return 1
         return -(-nbytes // self.page_size)
+
+    def shm_split_threshold(
+        self, workers: int, task_seconds: float = SHM_TASK_SECONDS
+    ) -> float:
+        """Estimated pair count above which a work-stealing task splits.
+
+        The shared-memory engine splits a task when its estimated work —
+        candidate pairs times ``cpu_real_distance`` — exceeds a modeled
+        per-task CPU budget, scaled down by the worker count so more
+        workers see proportionally finer tasks to balance and steal.
+        The floor keeps tasks from shrinking below one node-pair block,
+        where dispatch overhead would dominate.
+        """
+        return max(1024.0, task_seconds / self.cpu_real_distance / max(1, workers))
 
 
 DEFAULT_COST_MODEL = CostModel()

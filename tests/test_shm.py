@@ -1,0 +1,319 @@
+"""Zero-copy shared-memory parallel engine: serialization, identity,
+work stealing, and crash recovery.
+
+Identity is the load-bearing property: every ``shm-*`` mode must return
+the byte-identical result stream the sequential engine produces, with or
+without injected faults.  The serialization tests pin the flat-buffer
+layout; the fault tests additionally assert that no ``/dev/shm`` segment
+outlives a run.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.api import JoinConfig, JoinRunner
+from repro.geometry.distances import min_distance
+from repro.geometry.rect import Rect
+from repro.parallel.engine import parallel_kdj
+from repro.parallel.shm import (
+    AttachedArena,
+    SharedTreeView,
+    TreeArena,
+    active_segments,
+    serialize_tree,
+)
+from repro.resilience.faults import FaultPlan
+from repro.rtree.tree import RTree
+
+
+def _points(n, seed, span=1000.0):
+    rng = random.Random(seed)
+    return [
+        (Rect.from_point(rng.uniform(0, span), rng.uniform(0, span)), i)
+        for i in range(n)
+    ]
+
+
+def _rects(n, seed):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+        # Quantized corners manufacture exact distance ties.
+        w, h = rng.randrange(0, 5) * 2.5, rng.randrange(0, 5) * 2.5
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+def _stream(result):
+    return sorted((p.distance, p.ref_r, p.ref_s) for p in result.results)
+
+
+@pytest.fixture(scope="module")
+def point_trees():
+    return (
+        RTree.bulk_load(_points(1500, 11)),
+        RTree.bulk_load(_points(1500, 22)),
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(point_trees):
+    tree_r, tree_s = point_trees
+    return JoinRunner(tree_r, tree_s, JoinConfig()).kdj(400, "amkdj")
+
+
+class TestSerialization:
+    def test_layout_roundtrip(self):
+        tree = RTree.bulk_load(_points(300, 5))
+        layout, buf = serialize_tree(tree)
+        assert layout.size == tree.size
+        assert layout.height == tree.height
+        assert len(buf) == layout.nbytes
+        view = SharedTreeView(layout, memoryview(buf))
+        # Root is node 0 and its subtree count covers every object.
+        assert int(view.cnt[0]) == tree.size
+        assert view.node_rect(0) == tree.bounds()
+        # Level decreases root-to-leaf; leaves are level 0.
+        assert int(view.lvl[0]) == tree.height - 1
+        view.release()
+
+    def test_children_follow_parents(self):
+        tree = RTree.bulk_load(_points(400, 6))
+        layout, buf = serialize_tree(tree)
+        view = SharedTreeView(layout, memoryview(buf))
+        for node in range(layout.n_nodes):
+            if int(view.lvl[node]) == 0:
+                continue
+            lo, hi = view.span(node)
+            for j in range(lo, hi):
+                child = int(view.eref[j])
+                assert child > node, "BFS order must place children after parents"
+                # A directory entry's MBR is its child node's MBR.
+                assert view.entry_rect(j) == view.node_rect(child)
+        view.release()
+
+    def test_leaf_entries_carry_object_ids(self):
+        items = _points(64, 7)
+        tree = RTree.bulk_load(items)
+        layout, buf = serialize_tree(tree)
+        view = SharedTreeView(layout, memoryview(buf))
+        seen = set()
+        for node in range(layout.n_nodes):
+            if int(view.lvl[node]) != 0:
+                continue
+            lo, hi = view.span(node)
+            seen.update(int(view.eref[j]) for j in range(lo, hi))
+        assert seen == {oid for _, oid in items}
+        view.release()
+
+    def test_arena_local_and_shm_byte_equal(self):
+        tree_r = RTree.bulk_load(_points(200, 8))
+        tree_s = RTree.bulk_load(_points(200, 9))
+        local = TreeArena(tree_r, tree_s, use_shm=False)
+        shm = TreeArena(tree_r, tree_s, use_shm=True)
+        try:
+            descriptor = shm.descriptor()
+            assert descriptor is not None
+            assert local.descriptor() is None
+            attached = AttachedArena(descriptor)
+            assert attached.view_r.node_rect(0) == local.view_r.node_rect(0)
+            assert bytes(attached.view_r.eref) == bytes(local.view_r.eref)
+            attached.close()
+        finally:
+            local.close()
+            shm.close()
+        assert active_segments() == []
+
+    def test_arena_close_is_idempotent_and_unlinks(self):
+        tree = RTree.bulk_load(_points(100, 10))
+        arena = TreeArena(tree, tree, use_shm=True)
+        assert arena.segment in active_segments()
+        arena.close()
+        arena.close()
+        assert active_segments() == []
+
+    def test_mindist_contract_matches_scalar(self):
+        # The kernels' shortcut arithmetic must reproduce min_distance
+        # bit-for-bit over the shared views — this is what makes the
+        # parallel stream byte-identical.
+        from repro.kernels import resolve_backend
+
+        tree_r = RTree.bulk_load(_rects(120, 13))
+        tree_s = RTree.bulk_load(_rects(120, 14))
+        arena = TreeArena(tree_r, tree_s, use_shm=False)
+        try:
+            vr, vs = arena.view_r, arena.view_s
+            kern = resolve_backend(None)
+            rect = vr.entry_rect(0)
+            lo, hi = vs.span(0)
+            hits = kern.block_within(rect, vs.entries.slice(lo, hi), math.inf)
+            assert hits, "unbounded query must hit every entry"
+            for j, dist in hits:
+                assert dist == min_distance(rect, vs.entry_rect(lo + j))
+        finally:
+            arena.close()
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("mode", ["shm-serial", "shm-thread", "shm-process"])
+    def test_modes_identical_to_sequential(self, point_trees, sequential, mode):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode=mode)
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        assert _stream(result) == _stream(sequential)
+        assert result.stats.extra["parallel_mode"] == mode
+        assert result.stats.extra["parallel_stages"] >= 1
+
+    def test_rect_data_with_distance_ties(self):
+        tree_r = RTree.bulk_load(_rects(600, 31))
+        tree_s = RTree.bulk_load(_rects(600, 32))
+        seq = JoinRunner(tree_r, tree_s, JoinConfig()).kdj(250, "amkdj")
+        config = JoinConfig(parallel=2, parallel_mode="shm-thread")
+        result = parallel_kdj(tree_r, tree_s, 250, config=config)
+        assert _stream(result) == _stream(seq)
+
+    def test_python_kernels_identical(self, point_trees, sequential):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode="shm-serial", kernels="python")
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        assert _stream(result) == _stream(sequential)
+
+    def test_amidj_routes_through_shm(self, point_trees, sequential):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode="shm-serial")
+        result = parallel_kdj(tree_r, tree_s, 400, config=config, algorithm="amidj")
+        assert _stream(result) == _stream(sequential)
+
+    def test_exact_algorithms_fall_back_to_tiled(self, point_trees):
+        # Non-sweep algorithms strip the shm- prefix and run the legacy
+        # tiled executor — still identical, different machinery.
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode="shm-serial")
+        result = parallel_kdj(tree_r, tree_s, 50, config=config, algorithm="hs")
+        seq = JoinRunner(tree_r, tree_s, JoinConfig()).kdj(50, "hs")
+        assert _stream(result) == _stream(seq)
+        assert "obs.shm.tasks" not in result.stats.extra
+
+    def test_widening_reruns_stage_on_clustered_data(self):
+        # Two tight clusters far apart: the uniform-density eDmax
+        # estimate undershoots badly, forcing at least one widening.
+        items_r = _points(400, 41, span=10.0)
+        items_s = [
+            (Rect.from_point(r.xmin + 500.0, r.ymin + 500.0), i)
+            for (r, _), i in zip(_points(400, 42, span=10.0), range(400))
+        ]
+        tree_r = RTree.bulk_load(items_r)
+        tree_s = RTree.bulk_load(items_s)
+        k = 300
+        seq = JoinRunner(tree_r, tree_s, JoinConfig()).kdj(k, "amkdj")
+        config = JoinConfig(parallel=2, parallel_mode="shm-serial")
+        result = parallel_kdj(tree_r, tree_s, k, config=config)
+        assert _stream(result) == _stream(seq)
+        assert result.stats.extra["parallel_stages"] >= 2
+
+    def test_k_larger_than_result_set(self):
+        tree_r = RTree.bulk_load(_points(80, 51))
+        tree_s = RTree.bulk_load(_points(80, 52))
+        seq = JoinRunner(tree_r, tree_s, JoinConfig()).kdj(80 * 80 + 5, "amkdj")
+        config = JoinConfig(parallel=2, parallel_mode="shm-serial")
+        result = parallel_kdj(tree_r, tree_s, 80 * 80 + 5, config=config)
+        assert _stream(result) == _stream(seq)
+        assert len(result.results) == 80 * 80
+
+
+class TestScheduler:
+    def test_task_and_steal_counters_exported(self, point_trees, sequential):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode="shm-thread")
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        extra = result.stats.extra
+        assert extra["obs.shm.tasks"] >= 1
+        assert extra["obs.shm.attaches"] == 2
+        # Shallow trees can legitimately push nothing (the frontier
+        # split already reached leaf-leaf tasks), but the counter and
+        # kernel telemetry must be exported either way.
+        assert extra["shm.stack_pushes"] >= 0
+        assert extra["kernels.batches"] > 0
+        assert extra["kernels.batched_pairs"] > 0
+
+    def test_occupancy_gauges_present(self, point_trees):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(parallel=2, parallel_mode="shm-thread")
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        gauges = [
+            k for k in result.stats.extra if k.startswith("obs.shm.occupancy.w")
+        ]
+        assert gauges, "per-worker occupancy gauges missing"
+        for name in gauges:
+            assert 0.0 <= result.stats.extra[name] <= 1.0
+
+    def test_work_accounting_matches_serial(self, point_trees):
+        # Thread workers and the inline drain traverse identically, so
+        # the work counters must agree apart from steal-timing jitter.
+        tree_r, tree_s = point_trees
+        serial = parallel_kdj(
+            tree_r, tree_s, 400,
+            config=JoinConfig(parallel=2, parallel_mode="shm-serial"),
+        )
+        threaded = parallel_kdj(
+            tree_r, tree_s, 400,
+            config=JoinConfig(parallel=2, parallel_mode="shm-thread"),
+        )
+        a = serial.stats.real_distance_computations
+        b = threaded.stats.real_distance_computations
+        assert abs(a - b) <= 0.05 * max(a, b)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("mode", ["shm-thread", "shm-process"])
+    def test_single_crash_recovers_identically(self, point_trees, sequential, mode):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(
+            parallel=2,
+            parallel_mode=mode,
+            fault_plan=FaultPlan.parse("worker_crash:@1"),
+        )
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        assert _stream(result) == _stream(sequential)
+        assert result.stats.extra["resilience_worker_failures"] >= 1
+        assert active_segments() == []
+
+    def test_kill_recovers_identically(self, point_trees, sequential):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(
+            parallel=2,
+            parallel_mode="shm-process",
+            fault_plan=FaultPlan.parse("worker_kill:@0"),
+        )
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        assert _stream(result) == _stream(sequential)
+        assert result.stats.extra["resilience_worker_failures"] >= 1
+        assert active_segments() == []
+
+    @pytest.mark.parametrize("mode", ["shm-thread", "shm-process"])
+    def test_all_workers_dead_falls_back_inline(self, point_trees, sequential, mode):
+        tree_r, tree_s = point_trees
+        config = JoinConfig(
+            parallel=2,
+            parallel_mode=mode,
+            fault_plan=FaultPlan.parse("worker_crash"),
+        )
+        result = parallel_kdj(tree_r, tree_s, 400, config=config)
+        assert _stream(result) == _stream(sequential)
+        assert result.stats.extra["resilience_worker_failures"] == 2
+        assert result.stats.extra["resilience_worker_fallbacks"] >= 1
+        assert active_segments() == []
+
+    def test_segments_cleaned_after_faulted_runs(self, point_trees):
+        tree_r, tree_s = point_trees
+        for plan in ("worker_crash:@0", "worker_kill", "worker_crash"):
+            config = JoinConfig(
+                parallel=2,
+                parallel_mode="shm-process",
+                fault_plan=FaultPlan.parse(plan),
+            )
+            parallel_kdj(tree_r, tree_s, 100, config=config)
+            assert active_segments() == [], f"segment leak after {plan!r}"

@@ -19,6 +19,7 @@ The workload is the same one ``bench_parallel_scaling.py`` asserts on:
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import pathlib
@@ -46,17 +47,25 @@ def _host() -> dict:
         available = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         available = None
+    from repro.kernels import resolve_backend
+
     return {
         "cpu_count": os.cpu_count(),
         "cpus_available": available,
         "platform": platform.platform(),
         "python": platform.python_version(),
+        # Which distance-kernel backend ran: a numpy row and a
+        # pure-python row are not comparable wall-time data points.
+        "kernels_backend": resolve_backend(None).name,
     }
 
 
 def _payload(benchmark: str, rows: list[dict], sequential: dict) -> dict:
     return {
         "benchmark": benchmark,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "workload": {
             "n_r": N_POINTS,
             "n_s": N_POINTS,

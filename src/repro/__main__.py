@@ -7,7 +7,9 @@ Commands:
 - ``join`` — run a k-distance join between two saved indexes with any of
   the four algorithms and print results plus the paper's metrics;
 - ``trace`` — render a trace file recorded with ``join --trace`` as a
-  stage timeline, eDmax convergence report, and event summary;
+  stage timeline, eDmax convergence report, and event summary (or a
+  collapsed-stack flame profile with ``--flame``);
+- ``top`` — terminal view of a running join's live status file;
 - ``experiment`` — regenerate one of the paper's tables/figures.
 
 Example session::
@@ -16,6 +18,10 @@ Example session::
     python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 100 -a amkdj
     python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 100 \
         --trace /tmp/run.jsonl --json
+    python -m repro join /tmp/az/streets.rt /tmp/az/hydro.rt -k 5000 \
+        --status-file /tmp/join.status --metrics-port 9109 \
+        --profile /tmp/join.folded
+    python -m repro top /tmp/join.status
     python -m repro trace /tmp/run.jsonl
     python -m repro experiment fig10
 """
@@ -81,6 +87,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
         worker_retries=args.worker_retries,
         retry_backoff_s=args.retry_backoff,
         fault_plan=fault_plan,
+        status_path=args.status_file,
+        status_interval_s=args.status_interval,
+        metrics_port=args.metrics_port,
+        profile_path=args.profile,
     )
     runner = JoinRunner(tree_r, tree_s, config)
     result = runner.kdj(args.k, args.algorithm)
@@ -112,14 +122,30 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.trace:
         print(f"trace written to {args.trace} "
               f"(render with: python -m repro trace {args.trace})")
+    if args.profile:
+        print(f"profile written to {args.profile} (collapsed stacks; feed "
+              f"to a flamegraph tool)")
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report
 
+    if args.flame:
+        from repro.obs.profiler import flame_from_trace, render_collapsed
+        from repro.obs.report import load_trace
+
+        counts = flame_from_trace(load_trace(args.trace_file))
+        print(render_collapsed(counts))
+        return 0
     print(render_report(args.trace_file, width=args.width))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(args.status_file, once=args.once, interval_s=args.interval)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -195,13 +221,38 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--json", action="store_true",
                       help="print stats and results as JSON (implies the "
                            "metrics registry; extras land under 'extra')")
+    join.add_argument("--status-file", metavar="PATH", default=None,
+                      help="publish a live JSON status file (progress, "
+                           "ETA, metrics, worker heartbeats) that "
+                           "'python -m repro top PATH' tails")
+    join.add_argument("--status-interval", type=float, default=0.25,
+                      metavar="SECONDS",
+                      help="live status publish interval (default 0.25)")
+    join.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                      help="serve Prometheus text metrics on "
+                           "localhost:PORT/metrics (plus /progress JSON) "
+                           "while the join runs")
+    join.add_argument("--profile", metavar="PATH", default=None,
+                      help="sampling profiler: write collapsed stacks "
+                           "(span-aware; Brendan Gregg format) to PATH")
     join.set_defaults(func=_cmd_join)
 
     trace = sub.add_parser("trace", help="render a recorded join trace")
     trace.add_argument("trace_file", help="file written by join --trace")
     trace.add_argument("--width", type=int, default=48,
                        help="timeline bar width in characters")
+    trace.add_argument("--flame", action="store_true",
+                       help="emit collapsed stacks (span self-time) "
+                            "instead of the report")
     trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser("top", help="watch a running join's status file")
+    top.add_argument("status_file", help="file written by join --status-file")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit")
+    top.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                     help="refresh interval (default 0.5)")
+    top.set_defaults(func=_cmd_top)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))

@@ -92,6 +92,7 @@ def amidj(
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
     result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    live = ctx.instr.live
 
     schedule = list(edmax_schedule or [])
     target_k = initial_k
@@ -108,6 +109,9 @@ def amidj(
     def emit(item_r: Item, item_s: Item, real: float) -> None:
         queue.insert(real, PairPayload(item_r, item_s))
 
+    if live is not None:
+        live.set_stage(f"s{state.stage}")
+        live.set_cutoffs(edmax, math.inf)
     tracer.begin("join:amidj", initial_k=initial_k)
     tracer.event("edmax", reason="init", old=math.inf, new=edmax, actual=math.inf)
     stage_name = f"stage:{state.stage}"
@@ -141,6 +145,10 @@ def amidj(
                          produced=produced)
         _refill(queue, records)
         stage_name = f"stage:{state.stage}"
+        if live is not None:
+            live.stage_done()
+            live.set_stage(f"s{state.stage}")
+            live.set_cutoffs(new_edmax, math.inf)
         tracer.begin(stage_name, edmax=new_edmax)
         return new_edmax
 
@@ -170,6 +178,8 @@ def amidj(
                 state.produced = produced
                 if result_hist is not None:
                     result_hist.observe(distance)
+                if live is not None:
+                    live.note_result()
                 yield ResultPair(distance, payload.a.ref, payload.b.ref)
                 continue
 

@@ -80,6 +80,9 @@ def amkdj(
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
     result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    live = ctx.instr.live
+    if live is not None:
+        live.start("amkdj", k)
 
     edmax_value = ctx.initial_edmax(k) if edmax is None else edmax
     initial_edmax = edmax_value
@@ -121,6 +124,9 @@ def amkdj(
     # Stage one: aggressive pruning (Algorithm 2)
     # ------------------------------------------------------------------
     tracer.begin("stage:aggressive", edmax=edmax_value)
+    if live is not None:
+        live.set_stage("aggressive")
+        live.set_cutoffs(edmax_value, math.inf)
     batch = tracer.batcher("expand")
     estimate_active = True  # until line 8 replaces eDmax with qDmax
     need_compensation = False
@@ -140,6 +146,8 @@ def amkdj(
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
             if result_hist is not None:
                 result_hist.observe(distance)
+            if live is not None:
+                live.note_result()
             if adaptive and len(results) >= next_milestone and len(results) < k:
                 corrected = min(_re_estimate(ctx, len(results), k, distance), qdmax())
                 if tracer.enabled:
@@ -160,6 +168,9 @@ def amkdj(
             edmax_value = safe_bound
         if edmax_value < safe_bound:
             min_unsafe_cutoff = min(min_unsafe_cutoff, edmax_value)
+        if live is not None:
+            # Per node expansion, not per candidate pair: two stores.
+            live.set_cutoffs(edmax_value, safe_bound)
         cutoff_now = edmax_value
         children_r = ctx.children_r(payload.a)
         children_s = ctx.children_s(payload.b)
@@ -183,6 +194,8 @@ def amkdj(
     tracer.end("stage:aggressive", results=len(results))
     if meter is not None:
         meter.stage_end("aggressive")
+    if live is not None:
+        live.stage_done()
 
     # ------------------------------------------------------------------
     # Stage two: compensation (Algorithm 3)
@@ -191,6 +204,9 @@ def amkdj(
     if need_compensation or (len(results) < k and comp_queue):
         stages = 1
         tracer.begin("stage:compensation")
+        if live is not None:
+            live.set_stage("compensation")
+            live.set_cutoffs(qdmax(), qdmax())
         tracer.event("compensation_resume", records=len(comp_queue),
                      produced=len(results), qdmax=qdmax())
         batch = tracer.batcher("expand:compensate")
@@ -203,6 +219,8 @@ def amkdj(
                 results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
                 if result_hist is not None:
                     result_hist.observe(distance)
+                if live is not None:
+                    live.note_result()
                 continue
             if payload.record is not None:
                 # The record kept the child lists sorted in stage one, so
@@ -231,6 +249,8 @@ def amkdj(
         tracer.end("stage:compensation", results=len(results))
         if meter is not None:
             meter.stage_end("compensation")
+        if live is not None:
+            live.stage_done()
 
     stats = ctx.make_stats("amkdj", k, len(results))
     stats.distance_queue_insertions = distance_queue.insertions

@@ -78,6 +78,17 @@ class JoinConfig:
     histograms, per-stage work deltas) whose snapshot lands in
     ``JoinStats.extra``; tracing implies it.
 
+    Live plane (:mod:`repro.obs.live`): ``status_path`` publishes an
+    atomically-swapped JSON status file every ``status_interval_s``
+    (progress fraction + ETA, metrics snapshot, per-worker telemetry —
+    tail it with ``python -m repro top``); ``metrics_port`` additionally
+    serves ``GET /metrics`` (Prometheus text) and ``GET /progress`` on
+    localhost for the duration of the run (``0`` binds an ephemeral
+    port); ``profile_path`` runs the span-aware sampling profiler and
+    writes a collapsed-stack (flamegraph) file at close.  All three off
+    (the default) builds no plane at all — no threads, no per-pair
+    cost.
+
     Resilience knobs (:mod:`repro.resilience`): ``deadline_s`` bounds a
     run's wall time — every engine's expansion loop checks it
     cooperatively and raises the typed
@@ -114,6 +125,10 @@ class JoinConfig:
     trace_path: str | None = None
     trace_format: str | None = None
     collect_metrics: bool = False
+    status_path: str | None = None
+    status_interval_s: float = 0.25
+    metrics_port: int | None = None
+    profile_path: str | None = None
     deadline_s: float | None = None
     worker_timeout_s: float | None = None
     worker_retries: int = 2
@@ -183,14 +198,22 @@ class JoinRunner:
             return tracer_for(self.config.trace_path, self.config.trace_format), True
         return None, False
 
-    def _metrics(self, tracer):
-        if self.config.collect_metrics or tracer is not None:
+    def _metrics(self, tracer, plane=None):
+        # A live plane implies metrics: /metrics and the status file
+        # serve the registry snapshot.
+        if self.config.collect_metrics or tracer is not None or plane is not None:
             from repro.obs.metrics import MetricsRegistry
 
             return MetricsRegistry()
         return None
 
-    def _context(self, tracer=None, metrics=None) -> JoinContext:
+    def _open_plane(self):
+        """The run's live plane (publisher/exporter/profiler), or None."""
+        from repro.obs.live import LivePlane
+
+        return LivePlane.from_config(self.config)
+
+    def _context(self, tracer=None, metrics=None, live=None) -> JoinContext:
         cfg = self.config
         # A fresh deadline per run: the budget covers one join, not the
         # runner's lifetime.
@@ -209,6 +232,7 @@ class JoinRunner:
             metrics=metrics,
             deadline=deadline,
             faults=cfg.fault_plan,
+            live=live,
         )
 
     # ------------------------------------------------------------------
@@ -235,7 +259,21 @@ class JoinRunner:
                 dmax=dmax,
             )
         tracer, owned = self._open_tracer()
-        ctx = self._context(tracer, self._metrics(tracer))
+        plane = self._open_plane()
+        if plane is not None:
+            tracer = plane.ensure_tracer(tracer)
+        metrics = self._metrics(tracer, plane)
+        ctx = self._context(
+            tracer, metrics, live=plane.progress if plane is not None else None
+        )
+        if plane is not None:
+            plane.attach_metrics(metrics)
+            plane.progress.start(algorithm, k)
+            queue, queue_stats = ctx.main_queue, ctx.main_queue.stats
+            plane.set_work_source(
+                lambda: (queue_stats.pops, queue_stats.pops + len(queue))
+            )
+            plane.start(tracer)
         started = time.perf_counter()
         try:
             if algorithm == "hs":
@@ -253,7 +291,15 @@ class JoinRunner:
             else:
                 cutoff = dmax if dmax is not None else self.true_dmax(k)
                 results, stats = sjsort_mod.sj_sort(ctx, k, cutoff)
+            if metrics is not None and tracer is not None and tracer.enabled:
+                # One final registry snapshot into the trace, so reports
+                # can derive distribution percentiles offline.
+                tracer.counter("metrics:final", **metrics.snapshot())
         finally:
+            # Close the plane first: its final snapshot still reads the
+            # live queue and registry.
+            if plane is not None:
+                plane.close()
             ctx.close()
             if owned:
                 tracer.close()
@@ -267,7 +313,23 @@ class JoinRunner:
                 f"unknown IDJ algorithm {algorithm!r}; pick one of {IDJ_ALGORITHMS}"
             )
         tracer, owned = self._open_tracer()
-        ctx = self._context(tracer, self._metrics(tracer))
+        plane = self._open_plane()
+        if plane is not None:
+            tracer = plane.ensure_tracer(tracer)
+        metrics = self._metrics(tracer, plane)
+        ctx = self._context(
+            tracer, metrics, live=plane.progress if plane is not None else None
+        )
+        if plane is not None:
+            plane.attach_metrics(metrics)
+            # Incremental streams have no preset k; progress reports the
+            # produced count and queue work fraction only.
+            plane.progress.start(algorithm, 0)
+            queue, queue_stats = ctx.main_queue, ctx.main_queue.stats
+            plane.set_work_source(
+                lambda: (queue_stats.pops, queue_stats.pops + len(queue))
+            )
+            plane.start(tracer)
         if algorithm == "hs":
             generator = hs_mod.hs_idj(ctx)
             name = "hs-idj"
@@ -287,7 +349,8 @@ class JoinRunner:
             )
             name = "am-idj"
         return IncrementalJoin(ctx, generator, name, state,
-                               owned_tracer=tracer if owned else None)
+                               owned_tracer=tracer if owned else None,
+                               plane=plane)
 
     # ------------------------------------------------------------------
 
@@ -310,6 +373,7 @@ class IncrementalJoin:
         name: str,
         state: "amidj_mod.AMIDJState | None",
         owned_tracer=None,
+        plane=None,
     ) -> None:
         self._ctx = ctx
         self._generator = generator
@@ -319,6 +383,7 @@ class IncrementalJoin:
         self._started = time.perf_counter()
         self._closed = False
         self._owned_tracer = owned_tracer
+        self._plane = plane
 
     def close(self) -> None:
         """Release the run's resources (spill files); idempotent.
@@ -332,6 +397,9 @@ class IncrementalJoin:
             # Close the generator first: its teardown emits the final
             # trace span ends, which must land before the sinks flush.
             self._generator.close()
+            if self._plane is not None:
+                # Final status snapshot while the queue is still live.
+                self._plane.close()
             self._ctx.close()
             if self._owned_tracer is not None:
                 self._owned_tracer.close()

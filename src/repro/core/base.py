@@ -86,6 +86,7 @@ class JoinContext:
         metrics=None,
         deadline=None,
         faults=None,
+        live=None,
     ) -> None:
         self.tree_r = tree_r
         self.tree_s = tree_s
@@ -102,6 +103,7 @@ class JoinContext:
         self.instr = Instruments(
             self.disk, self.accessor_r, self.accessor_s,
             tracer=tracer, metrics=metrics, kernels=self.options.kernels,
+            live=live,
         )
         self.rho = rho if rho is not None else self.default_rho()
         self._child_cache: dict[tuple[bool, int], list[Item]] = {}

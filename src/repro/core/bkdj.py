@@ -35,6 +35,10 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
     result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    live = ctx.instr.live
+    if live is not None:
+        live.start("bkdj", k)
+        live.set_stage("traversal")
 
     def qdmax() -> float:
         return distance_queue.cutoff
@@ -73,7 +77,12 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
             if result_hist is not None:
                 result_hist.observe(distance)
+            if live is not None:
+                live.note_result()
             continue
+        if live is not None:
+            # B-KDJ has no estimate; both live cutoffs are the safe bound.
+            live.set_cutoffs(qdmax(), qdmax())
         children_r = ctx.children_r(payload.a)
         children_s = ctx.children_s(payload.b)
         sweeper.expand(
@@ -91,6 +100,8 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     tracer.end("stage:traversal")
     if meter is not None:
         meter.stage_end("traversal")
+    if live is not None:
+        live.stage_done()
     stats = ctx.make_stats("bkdj", k, len(results))
     stats.distance_queue_insertions = distance_queue.insertions
     tracer.end("join:bkdj", results=len(results))

@@ -42,6 +42,9 @@ def hs_incremental(
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
     result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    live = ctx.instr.live
+    if live is not None:
+        live.set_stage("traversal")
     start_distance = ctx.instr.real_distance(root_r.rect, root_s.rect)
     queue.insert(start_distance, PairPayload(root_r, root_s))
     flip = False
@@ -68,6 +71,9 @@ def hs_incremental(
                 produced += 1
                 if result_hist is not None:
                     result_hist.observe(distance)
+                if live is not None:
+                    live.note_result()
+                    live.set_cutoffs(qdmax(), qdmax())
                 yield ResultPair(distance, payload.a.ref, payload.b.ref)
                 continue
             expand_r = pick_expansion_side(
@@ -131,6 +137,8 @@ def hs_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
         raise ValueError("k must be positive")
     distance_queue = DistanceQueue(k)
     results: list[ResultPair] = []
+    if ctx.instr.live is not None:
+        ctx.instr.live.start("hs-kdj", k)
     generator = hs_incremental(ctx, distance_queue)
     for pair in generator:
         results.append(pair)

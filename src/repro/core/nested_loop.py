@@ -38,6 +38,10 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
         return [], ctx.make_stats("nlj", k, 0)
 
     tracer = ctx.instr.tracer
+    live = ctx.instr.live
+    if live is not None:
+        live.start("nlj", k)
+        live.set_stage("scan")
     tracer.begin("join:nlj", k=k)
 
     # Block size: the memory the paper grants the queue, spent on the
@@ -80,6 +84,13 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
             if best_d.size > k:
                 top = np.argpartition(best_d, k - 1)[:k]
                 best_d, best_i, best_j = best_d[top], best_i[top], best_j[top]
+        if live is not None:
+            # One update per outer block: scanned fraction of R drives
+            # the bar; the k-th best-so-far is the effective cutoff.
+            live.set_results(min(int(best_d.size), k))
+            if best_d.size >= k:
+                cutoff = float(best_d.max())
+                live.set_cutoffs(cutoff, cutoff)
 
     ctx.instr.real_distance_computations += total_pairs
     ctx.disk.charge_cpu(total_pairs * ctx.cost_model.cpu_real_distance)

@@ -54,6 +54,10 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
     result_hist = metrics.histogram("result_distance") if metrics is not None else None
+    live = ctx.instr.live
+    if live is not None:
+        live.set_stage("traversal")
+        live.set_cutoffs(dmax, dmax)
     tracer.begin("join:within", dmax=dmax)
     tracer.begin("stage:traversal")
     batch = tracer.batcher("expand")
@@ -80,6 +84,8 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
                 produced += 1
                 if result_hist is not None:
                     result_hist.observe(pair.distance)
+                if live is not None:
+                    live.note_result()
                 yield pair
     finally:
         # Close the spans even when the consumer abandons the stream
@@ -97,6 +103,11 @@ def sj_sort(
         raise ValueError("k must be positive")
     sorter = ExternalSorter(ctx.disk, ctx.queue_memory)
     candidates = 0
+    if ctx.instr.live is not None:
+        # The within-join streams *candidates*; the top-k selection
+        # happens after the sort, so note_result over-reports against k.
+        # Report the candidate stream without k instead.
+        ctx.instr.live.start("sj-sort", 0)
     source = spatial_join_within(ctx, dmax)
 
     def keyed() -> Iterator[tuple[float, ResultPair]]:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 from repro.geometry.distances import axis_distance, min_distance
 from repro.geometry.rect import Rect
 from repro.kernels import resolve_backend
+from repro.obs.metrics import GAUGE_KEY_SUFFIX
 from repro.obs.tracer import NULL_TRACER
 from repro.storage.disk import SimulatedDisk
 
@@ -94,9 +95,12 @@ class JoinStats:
         modeled times) are summed — total work adds up across workers —
         while peaks (queue peak size, compensation peak, wall time) are
         maxed, since concurrent workers' peaks do not stack.  Numeric
-        ``extra`` values are summed key-wise; non-numeric ones (labels
-        like a worker mode) take the other record's value.  ``algorithm``
-        and ``k`` keep this record's values.
+        ``extra`` values are summed key-wise, except keys carrying the
+        gauge marker (:data:`repro.obs.metrics.GAUGE_KEY_SUFFIX`), which
+        are maxed — a point-in-time reading like queue depth or worker
+        occupancy from N workers is a peak, not a total.  Non-numeric
+        extras (labels like a worker mode) take the other record's
+        value.  ``algorithm`` and ``k`` keep this record's values.
         """
         for name in self._SUMMED:
             setattr(self, name, getattr(self, name) + getattr(other, name))
@@ -105,7 +109,10 @@ class JoinStats:
         for key, value in other.extra.items():
             mine = self.extra.get(key, 0.0)
             if isinstance(value, (int, float)) and isinstance(mine, (int, float)):
-                self.extra[key] = mine + value
+                if key.endswith(GAUGE_KEY_SUFFIX):
+                    self.extra[key] = max(mine, value)
+                else:
+                    self.extra[key] = mine + value
             else:
                 self.extra[key] = value
 
@@ -157,6 +164,7 @@ class Instruments:
         tracer: "Tracer | NullTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         kernels=None,
+        live=None,
     ) -> None:
         self.disk = disk
         self.accessor_r = accessor_r
@@ -186,6 +194,11 @@ class Instruments:
         # stats.  Both default off (no-op tracer, no registry).
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        # Live progress cell (repro.obs.live.JoinProgress) or None.  The
+        # engines write it at result production and stage boundaries —
+        # never per candidate pair — and only behind an `is not None`
+        # check, so a run without the live plane pays one attribute load.
+        self.live = live
 
     def attach_queue(self, queue) -> None:
         """Register the main queue whose counters :meth:`fill` snapshots.

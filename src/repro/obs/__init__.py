@@ -1,6 +1,8 @@
 """Observability for join runs: structured traces and a metrics registry.
 
-The subsystem has three layers, all optional and all off by default:
+The subsystem has two planes, all optional and all off by default.
+
+Post-mortem (recorded during the run, rendered after):
 
 - :mod:`repro.obs.tracer` — the event tracer (nested spans, point
   events, counters) with the zero-overhead :data:`NULL_TRACER` default;
@@ -8,6 +10,16 @@ The subsystem has three layers, all optional and all off by default:
   export (``chrome://tracing`` / Perfetto) and in-memory collection;
 - :mod:`repro.obs.metrics` — counters/gauges/histograms whose snapshot
   lands in ``JoinStats.extra`` and therefore merges across workers.
+
+Live (observable while the join executes):
+
+- :mod:`repro.obs.live` — progress/ETA estimation and the periodic
+  status-file publisher (``--status-file``);
+- :mod:`repro.obs.export` — Prometheus text rendering and the
+  ``--metrics-port`` scrape endpoint (``/metrics``, ``/progress``);
+- :mod:`repro.obs.profiler` — span-aware sampling profiler emitting
+  collapsed stacks (``--profile``, ``trace --flame``);
+- :mod:`repro.obs.top` — the ``python -m repro top`` terminal view.
 
 Wiring: ``JoinConfig(trace_path=...)`` (or ``--trace`` on the CLI)
 builds a tracer per run; ``JoinContext`` hands it to the
@@ -17,12 +29,21 @@ through it.  ``python -m repro trace FILE`` renders a recorded trace
 ``docs/internals.md``.
 """
 
+from repro.obs.live import (
+    JoinProgress,
+    LivePlane,
+    LivePublisher,
+    ProgressEstimator,
+    read_status,
+)
 from repro.obs.metrics import (
+    GAUGE_KEY_SUFFIX,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     StageMeter,
+    snapshot_percentiles,
 )
 from repro.obs.report import load_trace, render_report
 from repro.obs.sinks import ChromeTraceSink, CollectSink, JsonlSink, open_sink
@@ -32,18 +53,25 @@ __all__ = [
     "ChromeTraceSink",
     "CollectSink",
     "Counter",
+    "GAUGE_KEY_SUFFIX",
     "Gauge",
     "Histogram",
+    "JoinProgress",
     "JsonlSink",
+    "LivePlane",
+    "LivePublisher",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ProgressEstimator",
     "SpanBatcher",
     "StageMeter",
     "Tracer",
     "load_trace",
     "open_sink",
+    "read_status",
     "render_report",
+    "snapshot_percentiles",
     "tracer_for",
 ]
 

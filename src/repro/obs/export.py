@@ -1,0 +1,201 @@
+"""Prometheus text-format export and the in-join scrape endpoint.
+
+Maps the run's metrics onto the Prometheus exposition format (0.0.4):
+
+- registry keys are dotted (``obs.shm.tasks``); Prometheus names are
+  ``repro_`` + the key with every non-``[a-zA-Z0-9_:]`` character
+  replaced by ``_`` (``repro_obs_shm_tasks``);
+- :class:`~repro.obs.metrics.Counter` → ``counter``,
+  :class:`~repro.obs.metrics.Gauge` → ``gauge``;
+- :class:`~repro.obs.metrics.Histogram` frexp buckets become cumulative
+  ``_bucket{le="2^e"}`` series (the zero bucket is ``le="0"``) plus
+  ``_sum``/``_count``, so standard ``histogram_quantile`` queries work;
+- progress and per-worker telemetry render as gauges, workers carrying a
+  ``{worker="N"}`` label.
+
+:class:`MetricsServer` is a stdlib ``ThreadingHTTPServer`` bound to
+localhost serving ``GET /metrics`` (text format) and ``GET /progress``
+(the latest status snapshot as JSON) while the join runs; ``port=0``
+binds an ephemeral port for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+__all__ = ["MetricsServer", "prometheus_name", "render_prometheus"]
+
+PROM_PREFIX = "repro_"
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(key: str) -> str:
+    """Map a dotted registry key onto a legal Prometheus metric name."""
+    name = _NAME_BAD.sub("_", key)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return PROM_PREFIX + name
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(lines: list[str], name: str, histogram: Histogram) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = histogram.zero
+    lines.append(f'{name}_bucket{{le="0"}} {_fmt(cumulative)}')
+    for exponent in sorted(histogram.buckets):
+        cumulative += histogram.buckets[exponent]
+        lines.append(
+            f'{name}_bucket{{le="{_fmt(2.0 ** exponent)}"}} {_fmt(cumulative)}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {_fmt(histogram.count)}')
+    lines.append(f"{name}_sum {_fmt(histogram.total)}")
+    lines.append(f"{name}_count {_fmt(histogram.count)}")
+
+
+def render_prometheus(
+    registry: Iterable[Any] | None = None,
+    progress: dict[str, Any] | None = None,
+    workers: list[dict[str, Any]] | None = None,
+    extra: dict[str, float] | None = None,
+) -> str:
+    """Render everything the live plane knows as Prometheus text."""
+    lines: list[str] = []
+    if registry is not None:
+        for instrument in registry:
+            name = prometheus_name(instrument.name)
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                _render_histogram(lines, name, instrument)
+    if progress is not None:
+        for key in ("fraction", "produced", "k", "stages_done", "elapsed_s"):
+            value = progress.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                name = prometheus_name(f"progress.{key}")
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(float(value))}")
+        name = prometheus_name("progress.done")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {1 if progress.get('done') else 0}")
+    if workers:
+        fields = sorted(
+            {
+                key
+                for row in workers
+                for key, value in row.items()
+                if key != "worker"
+                and isinstance(value, (int, float, bool))
+            }
+        )
+        for field in fields:
+            name = prometheus_name(f"worker.{field}")
+            lines.append(f"# TYPE {name} gauge")
+            for row in workers:
+                value = row.get(field)
+                if value is None:
+                    continue
+                lines.append(
+                    f'{name}{{worker="{row.get("worker", 0)}"}} '
+                    f"{_fmt(float(value))}"
+                )
+    if extra:
+        for key in sorted(extra):
+            value = extra[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            name = prometheus_name(key)
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Localhost scrape endpoint for a running join.
+
+    Serves ``/metrics`` (Prometheus text rendered fresh from the plane's
+    registry/progress/telemetry on every GET) and ``/progress`` (a fresh
+    status snapshot as JSON).  Runs on a daemon thread; :meth:`stop`
+    shuts the socket down.
+    """
+
+    def __init__(self, port: int, plane: Any, host: str = "127.0.0.1") -> None:
+        self._plane = plane
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = server.render_metrics().encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/progress":
+                    body = json.dumps(server.render_progress()).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /progress")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: Any) -> None:
+                return None  # scrapes must not spam the join's stderr
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    def render_metrics(self) -> str:
+        plane = self._plane
+        snap = plane.publisher.snapshot()
+        return render_prometheus(
+            registry=plane.registry,
+            progress=snap.get("progress"),
+            workers=snap.get("workers"),
+        )
+
+    def render_progress(self) -> dict[str, Any]:
+        return self._plane.publisher.snapshot()
+
+    def start(self) -> int:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

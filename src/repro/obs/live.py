@@ -1,0 +1,416 @@
+"""Live observability plane: in-flight progress, ETA, status publishing.
+
+Everything the obs subsystem records elsewhere is post-mortem — traces
+and metrics are rendered after the join exits.  This module makes a run
+observable *while it executes*:
+
+- :class:`JoinProgress` is a tiny mutable cell the engines write at
+  result production and stage boundaries (never per candidate pair);
+- :class:`ProgressEstimator` turns those signals plus the main-queue
+  processed fraction into a monotone completion fraction and an ETA,
+  exploiting the paper's own adaptive signal: the safe cutoff qDmax
+  converging onto the estimated eDmax means the aggressive stage is
+  nearly done;
+- :class:`LivePublisher` periodically snapshots registered sources
+  (progress, metrics registry, per-worker telemetry) into an
+  atomically-swapped JSON status file that ``python -m repro top`` tails
+  and the ``/progress`` HTTP endpoint serves;
+- :class:`LivePlane` bundles publisher + optional HTTP exporter +
+  optional sampling profiler behind one lifecycle object that the join
+  entry points build from :class:`JoinConfig` — ``None`` when every knob
+  is off, so disabled runs construct nothing and pay nothing.
+
+The publisher must never hurt the join it watches: source callbacks are
+invoked on the publisher thread, their exceptions are captured into the
+snapshot instead of propagating, and engine-side writes are plain
+attribute stores guarded by a single ``is not None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "JoinProgress",
+    "LivePlane",
+    "LivePublisher",
+    "ProgressEstimator",
+    "read_status",
+]
+
+
+class JoinProgress:
+    """Coarse progress state, written by the engine, read by the publisher.
+
+    Cross-thread access is deliberately lock-free: every field is a
+    single reference assignment (atomic under the GIL), and the reader
+    tolerates a snapshot torn across fields — it is a progress bar, not
+    a ledger.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "k",
+        "produced",
+        "stage",
+        "stages_done",
+        "edmax",
+        "qdmax",
+        "done",
+    )
+
+    def __init__(self) -> None:
+        self.algorithm = ""
+        self.k = 0
+        self.produced = 0
+        self.stage = ""
+        self.stages_done = 0
+        self.edmax = math.inf
+        self.qdmax = math.inf
+        self.done = False
+
+    def start(self, algorithm: str, k: int) -> None:
+        self.algorithm = algorithm
+        self.k = k
+
+    def set_stage(self, stage: str) -> None:
+        self.stage = stage
+
+    def stage_done(self) -> None:
+        self.stages_done += 1
+
+    def note_result(self) -> None:
+        self.produced += 1
+
+    def set_results(self, produced: int) -> None:
+        self.produced = produced
+
+    def set_cutoffs(self, edmax: float, qdmax: float) -> None:
+        self.edmax = edmax
+        self.qdmax = qdmax
+
+    def finish(self) -> None:
+        self.done = True
+
+    def view(self) -> dict[str, Any]:
+        """JSON-safe field dump (non-finite cutoffs become ``None``)."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "produced": self.produced,
+            "stage": self.stage,
+            "stages_done": self.stages_done,
+            "edmax": self.edmax if math.isfinite(self.edmax) else None,
+            "qdmax": self.qdmax if math.isfinite(self.qdmax) else None,
+            "done": self.done,
+        }
+
+
+class ProgressEstimator:
+    """Monotone completion fraction and ETA for one join run.
+
+    Three observable signals, each mapped into [0, 1]:
+
+    - **results**: ``produced / k`` — the exact currency of a KDJ run,
+      but pessimistic early, while the traversal is still descending and
+      no pairs are confirmed yet;
+    - **work**: ``done / (done + pending)`` over the unit the engine
+      schedules — main-queue entries for the sequential engines, tasks
+      for the parallel ones — optimistic early, while the frontier is
+      still being discovered;
+    - **convergence**: ``eDmax / qDmax`` once qDmax is finite — the
+      paper's adaptive signal (Section 5): the safe cutoff closing onto
+      the estimate means the aggressive stage, which the cost model says
+      carries almost all the work, is nearly over.
+
+    The blend weights reflect that cost-model split — the result stream
+    dominates, queue work seconds it, convergence refines the tail.  The
+    reported fraction is clamped to its running maximum so consumers see
+    a monotonically non-decreasing value even when a compensation stage
+    re-opens work, and the ETA is a straight-line extrapolation of
+    elapsed time over the fraction.
+    """
+
+    #: (results, work, convergence) blend weights; sum to 1.
+    WEIGHTS = (0.6, 0.25, 0.15)
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._best = 0.0
+
+    @staticmethod
+    def _convergence(edmax: float, qdmax: float) -> float:
+        if not math.isfinite(qdmax) or qdmax <= 0.0:
+            return 0.0
+        if not math.isfinite(edmax) or edmax <= 0.0:
+            return 1.0  # no estimate left below the safe cutoff
+        return min(1.0, edmax / qdmax)
+
+    def fraction(
+        self, progress: JoinProgress, work_done: float, work_total: float
+    ) -> float:
+        if progress.done:
+            self._best = 1.0
+            return 1.0
+        results = progress.produced / progress.k if progress.k else 0.0
+        work = work_done / work_total if work_total > 0 else 0.0
+        convergence = self._convergence(progress.edmax, progress.qdmax)
+        w_r, w_w, w_c = self.WEIGHTS
+        blended = (
+            w_r * min(results, 1.0) + w_w * min(work, 1.0) + w_c * convergence
+        )
+        # Never report 1.0 before the engine says so.
+        blended = min(blended, 0.99)
+        self._best = max(self._best, blended)
+        return self._best
+
+    def report(
+        self, progress: JoinProgress, work_done: float, work_total: float
+    ) -> dict[str, Any]:
+        """The ``progress`` section of a status snapshot."""
+        fraction = self.fraction(progress, work_done, work_total)
+        elapsed = self._clock() - self._t0
+        eta = None
+        if not progress.done and fraction >= 0.01:
+            eta = elapsed * (1.0 - fraction) / fraction
+        out = progress.view()
+        out.update(
+            {
+                "fraction": fraction,
+                "elapsed_s": elapsed,
+                "eta_s": eta,
+                "work_done": work_done,
+                "work_total": work_total,
+            }
+        )
+        return out
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats (invalid strict JSON) with None."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+def read_status(path: str | Path) -> dict[str, Any] | None:
+    """Load a status file; ``None`` when absent or unreadable.
+
+    The writer swaps atomically, so a torn read is impossible on POSIX;
+    decode errors still map to ``None`` because a monitor must not crash
+    on a file mid-creation.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+        return json.loads(text)
+    except (OSError, ValueError):
+        return None
+
+
+class LivePublisher:
+    """Periodically snapshots named sources into a status file.
+
+    Sources are ``(name, callable)`` pairs; each snapshot is one JSON
+    document ``{"ts", "elapsed_s", "seq", <name>: <value>, ...}``.  The
+    file swap is write-temp-then-``os.replace`` so readers never observe
+    a partial document.  A failing source contributes an ``{"error"}``
+    marker instead of killing the publisher — the live plane must never
+    take the join down with it.
+    """
+
+    def __init__(
+        self,
+        status_path: str | Path | None = None,
+        interval_s: float = 0.25,
+    ) -> None:
+        self.status_path = Path(status_path) if status_path else None
+        self.interval_s = max(float(interval_s), 0.02)
+        self._sources: list[tuple[str, Callable[[], Any]]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._snap_lock = threading.Lock()
+        self._seq = 0
+        self._epoch0 = time.time()
+        self._mono0 = time.monotonic()
+        self.latest: dict[str, Any] | None = None
+
+    def add_source(self, name: str, source: Callable[[], Any]) -> None:
+        self._sources.append((name, source))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Build, publish and return one snapshot (thread-safe)."""
+        with self._snap_lock:
+            snap: dict[str, Any] = {
+                "ts": time.time(),
+                "elapsed_s": time.monotonic() - self._mono0,
+                "seq": self._seq,
+            }
+            for name, source in self._sources:
+                try:
+                    snap[name] = _json_safe(source())
+                except Exception as exc:  # noqa: BLE001 - isolation by design
+                    snap[name] = {"error": f"{type(exc).__name__}: {exc}"}
+            self._seq += 1
+            self.latest = snap
+            if self.status_path is not None:
+                self._write(snap)
+            return snap
+
+    def _write(self, snap: dict[str, Any]) -> None:
+        tmp = self.status_path.with_name(self.status_path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(snap), encoding="utf-8")
+            os.replace(tmp, self.status_path)
+        except OSError:
+            # Out of disk / permission lost mid-run: keep the join alive,
+            # keep serving `latest` over HTTP.
+            return
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-live-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.snapshot()
+
+    def stop(self) -> None:
+        """Stop the thread and publish one final snapshot."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.snapshot()
+
+
+class LivePlane:
+    """One join run's live plane: publisher + exporter + profiler.
+
+    Built by the join entry points via :meth:`from_config`; ``None``
+    when ``status_path``, ``metrics_port`` and ``profile_path`` are all
+    unset, so the default path allocates nothing.  The owning entry
+    point calls :meth:`start` once the run's tracer/metrics exist and
+    :meth:`close` in its ``finally``.
+    """
+
+    def __init__(
+        self,
+        *,
+        status_path: str | Path | None = None,
+        interval_s: float = 0.25,
+        metrics_port: int | None = None,
+        profile_path: str | Path | None = None,
+    ) -> None:
+        self.publisher = LivePublisher(status_path, interval_s)
+        self.progress = JoinProgress()
+        self.estimator = ProgressEstimator()
+        self.metrics_port = metrics_port
+        self.profile_path = Path(profile_path) if profile_path else None
+        self.server: Any = None
+        self.profiler: Any = None
+        self.registry: Any = None
+        self.telemetry: Any = None
+        self._work_fn: Callable[[], tuple[float, float]] | None = None
+        self._closed = False
+        self.publisher.add_source("progress", self._progress_source)
+
+    @classmethod
+    def from_config(cls, config: Any) -> "LivePlane | None":
+        """A plane for ``config``, or ``None`` when fully disabled."""
+        status_path = getattr(config, "status_path", None)
+        metrics_port = getattr(config, "metrics_port", None)
+        profile_path = getattr(config, "profile_path", None)
+        if status_path is None and metrics_port is None and profile_path is None:
+            return None
+        return cls(
+            status_path=status_path,
+            interval_s=getattr(config, "status_interval_s", 0.25),
+            metrics_port=metrics_port,
+            profile_path=profile_path,
+        )
+
+    # -- wiring ---------------------------------------------------------
+
+    def _progress_source(self) -> dict[str, Any]:
+        done, total = self._work_fn() if self._work_fn is not None else (0.0, 0.0)
+        return self.estimator.report(self.progress, done, total)
+
+    def set_work_source(self, work_fn: Callable[[], tuple[float, float]]) -> None:
+        """``work_fn() -> (done, total)`` in the engine's scheduling unit."""
+        self._work_fn = work_fn
+
+    def attach_metrics(self, registry: Any) -> None:
+        if registry is None:
+            return
+        self.registry = registry
+        self.publisher.add_source("metrics", registry.snapshot)
+
+    def attach_workers(self, telemetry: Any) -> None:
+        if telemetry is None:
+            return
+        self.telemetry = telemetry
+        self.publisher.add_source("workers", telemetry.snapshot)
+
+    def ensure_tracer(self, tracer: Any) -> Any:
+        """A span-capable tracer for profiling, reusing the run's if live.
+
+        The profiler attributes samples to ``tracer.span_stack``; when
+        profiling is requested on an untraced run, a sink-less
+        :class:`Tracer` records span names without writing events
+        anywhere.
+        """
+        if self.profile_path is None or getattr(tracer, "enabled", False):
+            return tracer
+        from repro.obs.tracer import Tracer
+
+        return Tracer([])
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, tracer: Any = None) -> None:
+        """Start publisher thread, HTTP server and profiler (idempotent)."""
+        self.publisher.start()
+        if self.metrics_port is not None and self.server is None:
+            from repro.obs.export import MetricsServer
+
+            self.server = MetricsServer(self.metrics_port, self)
+            self.server.start()
+        if self.profile_path is not None and self.profiler is None:
+            from repro.obs.profiler import SamplingProfiler
+
+            self.profiler = SamplingProfiler(tracer=tracer)
+            self.profiler.start()
+
+    def close(self) -> None:
+        """Final snapshot, stop server/profiler, write the profile."""
+        if self._closed:
+            return
+        self._closed = True
+        self.progress.finish()
+        if self.profiler is not None:
+            self.profiler.stop()
+            try:
+                self.profiler.write(self.profile_path)
+            except OSError:
+                pass
+        self.publisher.stop()
+        if self.server is not None:
+            self.server.stop()
+            self.server = None

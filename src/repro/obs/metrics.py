@@ -7,14 +7,19 @@ folds into the existing metric plumbing instead of adding a second one:
 ``JoinStats.extra``, so ``JoinStats.merge`` aggregates worker registries
 and the regression baselines see the new numbers for free.
 
-Because merged ``extra`` values are *summed* key-wise, every snapshot
-field is chosen to be sum-mergeable: counters and gauges export their
-value, histograms export ``count``, ``sum`` and per-bucket counts (all
-additive) — means and distributions are derived at render time.
+Because merged ``extra`` values are aggregated key-wise, every snapshot
+field carries its merge kind in its key: counters and histogram fields
+(``count``, ``sum``, per-bucket counts — all additive) are summed, while
+gauges export under the :data:`GAUGE_KEY_SUFFIX` marker, which
+``JoinStats.merge`` treats as *max* — a point-in-time reading (queue
+depth, worker occupancy) from N workers is a peak, not a total, and
+summing it would produce a meaningless number.
 
 Histograms bucket by power of two (``frexp`` exponent), which covers
 result distances and queue depths across many orders of magnitude with
-no prior knowledge of scale.
+no prior knowledge of scale; p50/p95/p99 are derived from the bucket
+counts at render time (:meth:`Histogram.percentile`,
+:func:`snapshot_percentiles`).
 """
 
 from __future__ import annotations
@@ -22,7 +27,21 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "StageMeter"]
+__all__ = [
+    "Counter",
+    "GAUGE_KEY_SUFFIX",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StageMeter",
+    "histogram_names",
+    "snapshot_percentiles",
+]
+
+#: Key suffix marking a snapshot field as a point-in-time gauge reading.
+#: ``JoinStats.merge`` maxes (rather than sums) extras under this suffix:
+#: concurrent workers' instantaneous readings do not stack.
+GAUGE_KEY_SUFFIX = ".gauge"
 
 
 class Counter:
@@ -42,7 +61,12 @@ class Counter:
 
 
 class Gauge:
-    """A value that goes up and down; exports the last set value."""
+    """A value that goes up and down; exports the last set value.
+
+    Snapshots export under ``name + GAUGE_KEY_SUFFIX`` so that
+    ``JoinStats.merge`` knows to max the readings from concurrent
+    workers instead of summing them.
+    """
 
     __slots__ = ("name", "value")
 
@@ -54,7 +78,7 @@ class Gauge:
         self.value = value
 
     def snapshot(self) -> dict[str, float]:
-        return {self.name: self.value}
+        return {f"{self.name}{GAUGE_KEY_SUFFIX}": self.value}
 
 
 class Histogram:
@@ -88,6 +112,19 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (``q`` in [0, 1]) from the buckets.
+
+        Interpolates linearly inside the covering power-of-two bucket
+        ``[2^(e-1), 2^e)``, so the error is bounded by the bucket width;
+        the zero bucket reports 0.0.
+        """
+        return _bucket_percentile(q, self.count, self.zero, self.buckets)
+
+    def percentiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """``{"p50": ..., "p95": ...}`` for the requested quantiles."""
+        return {f"p{round(q * 100):d}": self.percentile(q) for q in qs}
+
     def snapshot(self) -> dict[str, float]:
         out = {
             f"{self.name}.count": float(self.count),
@@ -98,6 +135,76 @@ class Histogram:
         for exponent, count in sorted(self.buckets.items()):
             out[f"{self.name}.bucket_e{exponent}"] = float(count)
         return out
+
+
+def _bucket_percentile(
+    q: float, count: float, zero: float, buckets: dict[int, float]
+) -> float:
+    """Shared quantile kernel over frexp bucket counts.
+
+    Works for a live :class:`Histogram` and for counts reconstructed
+    from a flattened snapshot, so reports can derive percentiles from
+    ``JoinStats.extra`` long after the registry is gone.
+    """
+    if count <= 0:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    target = q * count
+    cumulative = zero
+    if cumulative >= target and zero > 0:
+        return 0.0
+    last_edge = 0.0
+    for exponent in sorted(buckets):
+        bucket_count = buckets[exponent]
+        if bucket_count <= 0:
+            continue
+        low, high = 2.0 ** (exponent - 1), 2.0 ** exponent
+        if cumulative + bucket_count >= target:
+            return low + (high - low) * (target - cumulative) / bucket_count
+        cumulative += bucket_count
+        last_edge = high
+    return last_edge
+
+
+def snapshot_percentiles(
+    extra: dict[str, float],
+    name: str,
+    qs: Iterable[float] = (0.5, 0.95, 0.99),
+) -> dict[str, float] | None:
+    """Reconstruct percentiles of histogram ``name`` from flattened keys.
+
+    ``extra`` is any dict holding the ``name.count`` / ``name.le_zero`` /
+    ``name.bucket_eN`` keys a :meth:`Histogram.snapshot` produced (e.g.
+    ``JoinStats.extra`` after a merge).  Returns ``None`` when the
+    histogram is absent or empty.
+    """
+    count = extra.get(f"{name}.count", 0.0)
+    if not count:
+        return None
+    zero = extra.get(f"{name}.le_zero", 0.0)
+    prefix = f"{name}.bucket_e"
+    buckets: dict[int, float] = {}
+    for key, value in extra.items():
+        if key.startswith(prefix):
+            try:
+                buckets[int(key[len(prefix):])] = float(value)
+            except (TypeError, ValueError):
+                continue
+    return {
+        f"p{round(q * 100):d}": _bucket_percentile(q, count, zero, buckets)
+        for q in qs
+    }
+
+
+def histogram_names(extra: dict[str, float]) -> list[str]:
+    """Histogram base names present in a flattened snapshot dict."""
+    names = []
+    for key in extra:
+        if key.endswith(".count") and isinstance(extra[key], (int, float)):
+            base = key[: -len(".count")]
+            if f"{base}.sum" in extra:
+                names.append(base)
+    return sorted(names)
 
 
 class MetricsRegistry:
@@ -133,12 +240,14 @@ class MetricsRegistry:
         return self._get(Histogram, name)  # type: ignore[return-value]
 
     def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
-        return iter(self._instruments.values())
+        # List copy: the live plane iterates from publisher/server threads
+        # while the engine may still be registering instruments.
+        return iter(list(self._instruments.values()))
 
     def snapshot(self) -> dict[str, float]:
-        """Flat ``prefix.name[.field] -> value`` dict, all sum-mergeable."""
+        """Flat ``prefix.name[.field] -> value`` dict, merge-kind-keyed."""
         out: dict[str, float] = {}
-        for instrument in self._instruments.values():
+        for instrument in list(self._instruments.values()):
             out.update(instrument.snapshot())
         return out
 

@@ -10,7 +10,12 @@ these renderers:
   (old/new/actual and the reason) plus an ASCII chart of the estimated
   and safe cutoffs closing in on each other over time, reusing
   :func:`repro.workloads.plots.ascii_chart`;
-- an **event summary**: point-event counts by name.
+- an **event summary**: point-event counts by name;
+- a **distribution summary**: p50/p95/p99 (derived from the frexp
+  bucket counts, see :func:`repro.obs.metrics.snapshot_percentiles`)
+  for every histogram in the run's final metrics snapshot — the runs
+  record one ``metrics:final`` counter event at close so the trace file
+  is self-contained.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ import math
 from pathlib import Path
 from typing import Any
 
-__all__ = ["Span", "collect_spans", "load_trace", "render_report"]
+__all__ = [
+    "Span",
+    "collect_spans",
+    "load_trace",
+    "render_distributions",
+    "render_report",
+]
 
 #: Expansion-batch spans collapse to one summary line per track past this.
 MAX_BATCH_ROWS = 8
@@ -233,6 +244,51 @@ def render_events(records: list[dict[str, Any]]) -> str:
     return format_table(rows, columns=["event", "count"], title="point events")
 
 
+def render_distributions(records: list[dict[str, Any]]) -> str:
+    """Histogram percentiles from the run's final metrics snapshot.
+
+    Replaces the old mean-only view: a p99 queue depth or result
+    distance says far more about a run's shape than its average.  Reads
+    the last ``metrics:final`` counter event (emitted when a metrics-
+    collecting run closes); traces recorded without metrics render a
+    one-line placeholder.
+    """
+    from repro.obs.metrics import histogram_names, snapshot_percentiles
+    from repro.workloads.tables import format_table
+
+    snapshot: dict[str, Any] | None = None
+    for record in records:
+        if record.get("ph") == "C" and record.get("name") == "metrics:final":
+            snapshot = {
+                key: _num(value)
+                for key, value in record.get("args", {}).items()
+            }
+    if not snapshot:
+        return "distributions: no final metrics snapshot in trace"
+    rows = []
+    for name in histogram_names(snapshot):
+        percentiles = snapshot_percentiles(snapshot, name)
+        if percentiles is None:
+            continue
+        count = snapshot[f"{name}.count"]
+        total = snapshot.get(f"{name}.sum", 0.0)
+        rows.append(
+            {
+                "histogram": name,
+                "count": int(count),
+                "mean": total / count if count else 0.0,
+                **percentiles,
+            }
+        )
+    if not rows:
+        return "distributions: no histograms recorded"
+    return format_table(
+        rows,
+        columns=["histogram", "count", "mean", "p50", "p95", "p99"],
+        title="distributions (bucket-interpolated percentiles)",
+    )
+
+
 def render_report(path: str | Path, width: int = 48) -> str:
     """The full ``python -m repro trace`` report for one trace file."""
     records = load_trace(path)
@@ -243,6 +299,7 @@ def render_report(path: str | Path, width: int = 48) -> str:
             render_timeline(records, width=width),
             render_edmax(records),
             render_events(records),
+            render_distributions(records),
         ]
     )
 

@@ -72,6 +72,10 @@ class NullTracer:
 
     enabled = False
 
+    #: Immutable empty stack: the sampling profiler reads ``span_stack``
+    #: off whatever tracer the run holds without a type check.
+    span_stack: tuple[str, ...] = ()
+
     def begin(self, name: str, **args: Any) -> None:
         return None
 
@@ -138,6 +142,12 @@ class Tracer:
         self._origin = time.perf_counter()
         self.epoch_origin = time.time() if epoch_origin is None else epoch_origin
         self._closed = False
+        #: Names of the currently open spans, outermost first.  The
+        #: sampling profiler snapshots this from its own thread to
+        #: attribute stack samples to join stages; maintenance is two
+        #: list ops per span, and torn reads cost one misattributed
+        #: sample at worst.
+        self.span_stack: list[str] = []
 
     # -- primitives -----------------------------------------------------
 
@@ -160,10 +170,16 @@ class Tracer:
 
     def begin(self, name: str, **args: Any) -> None:
         """Open a span; nest freely, close with :meth:`end` (LIFO)."""
+        self.span_stack.append(name)
         self._record("B", name, args)
 
     def end(self, name: str, **args: Any) -> None:
         """Close the innermost open span named ``name``."""
+        stack = self.span_stack
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                break
         self._record("E", name, args)
 
     def event(self, name: str, **args: Any) -> None:

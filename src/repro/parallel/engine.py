@@ -44,6 +44,7 @@ import itertools
 import math
 import multiprocessing
 import sys
+import threading
 import time
 from collections import Counter
 from concurrent.futures import BrokenExecutor
@@ -97,6 +98,28 @@ _SWEEP_ALGORITHMS = frozenset({"amkdj", "amidj"})
 # Partition worker (module level so process pools can pickle it)
 # ----------------------------------------------------------------------
 
+#: The pool worker's claimed telemetry slot (thread- and process-local;
+#: a forked/spawned pool worker has its own copy).
+_worker_telemetry = threading.local()
+
+
+def _telemetry_init(arr, claim, workers: int) -> None:
+    """Executor initializer: claim one telemetry slot for this worker.
+
+    Pool workers have no fixed identity, so each claims the next slot
+    from a shared counter on first spin-up; a rebuilt pool's workers
+    wrap around and reuse the original slots.
+    """
+    from repro.parallel.shm import WorkerSlot
+
+    try:
+        with claim.get_lock():
+            wid = claim.value
+            claim.value += 1
+        _worker_telemetry.slot = WorkerSlot(arr, wid % workers)
+    except Exception:  # pragma: no cover - telemetry must never kill a worker
+        _worker_telemetry.slot = None
+
 
 def _run_partition(
     task: dict[str, Any], live_bound: GlobalBound | None = None
@@ -118,6 +141,12 @@ def _run_partition(
     origins are not comparable across processes, the epoch clock is).
     """
     from repro.core.api import JoinConfig, JoinRunner  # local: avoid cycle
+
+    slot = getattr(_worker_telemetry, "slot", None)
+    if slot is not None:
+        # Partition granularity is the heartbeat cadence here: the tiled
+        # engine's unit of work is one whole partition join.
+        slot.beat(busy=True, depth=1)
 
     plan = task["config"].fault_plan
     if plan is not None:
@@ -184,6 +213,9 @@ def _run_partition(
 
     results.sort(key=pair_key)
     stats.results = len(results)
+    if slot is not None:
+        slot.task_done()
+        slot.beat(busy=False, depth=0)
     trace: dict[str, Any] | None = None
     if worker_tracer is not None and collector is not None:
         worker_tracer.close()
@@ -336,6 +368,7 @@ def _dispatch_pool(
     tracer: Tracer = NULL_TRACER,
     counters: Counter | None = None,
     deadline: Deadline | None = None,
+    telemetry=None,
 ) -> Iterator[tuple[list[ResultPair], float, bool, JoinStats, dict[str, Any] | None]]:
     """Wave submission with fault tolerance.
 
@@ -360,10 +393,16 @@ def _dispatch_pool(
     backoff = max(config.retry_backoff_s, 0.0)
 
     def make_executor() -> concurrent.futures.Executor:
+        init: dict[str, Any] = {}
+        if telemetry is not None:
+            init = {
+                "initializer": _telemetry_init,
+                "initargs": (telemetry.arr, telemetry.claim, telemetry.workers),
+            }
         if mode == "thread":
-            return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+            return concurrent.futures.ThreadPoolExecutor(max_workers=workers, **init)
         return concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=_mp_context()
+            max_workers=workers, mp_context=_mp_context(), **init
         )
 
     executor = make_executor()
@@ -635,15 +674,40 @@ def parallel_kdj(
         from repro.obs import tracer_for
 
         tracer = owned_tracer = tracer_for(config.trace_path, config.trace_format)
+    from repro.obs.live import LivePlane
+
+    plane = LivePlane.from_config(config)
+    live = plane.progress if plane is not None else None
+    work = {"done": 0.0, "total": 0.0}
+    telemetry = None
+    if plane is not None:
+        profiled = plane.ensure_tracer(tracer)
+        if profiled is not tracer:
+            # Sink-less tracer: span names for the profiler, no events.
+            tracer = owned_tracer = profiled
+        plane.set_work_source(lambda: (work["done"], work["total"]))
+        if mode != "serial":
+            from repro.parallel.shm import WorkerTelemetry
+
+            telemetry = WorkerTelemetry(
+                workers, ctx=_mp_context() if mode == "process" else None
+            )
+            plane.attach_workers(telemetry)
+        live.start(f"parallel-{algorithm}", k)
+        plane.start(tracer)
     if deadline is not None:
         deadline.bind_tracer(tracer)
-    # Workers must not open the parent's trace file: they trace into
-    # collecting sinks shipped back with their results instead.
-    worker_config = (
-        replace(sequential_config, trace_path=None, trace_format=None)
-        if tracer.enabled
-        else sequential_config
+    # Workers must not open the parent's trace file, status file,
+    # metrics port or profile: they trace into collecting sinks shipped
+    # back with their results, and the live plane is the parent's.
+    worker_config = replace(
+        sequential_config,
+        status_path=None,
+        metrics_port=None,
+        profile_path=None,
     )
+    if tracer.enabled:
+        worker_config = replace(worker_config, trace_path=None, trace_format=None)
     final: list[ResultPair] = []
     stages = 0
     try:
@@ -657,6 +721,8 @@ def parallel_kdj(
         while True:
             stages += 1
             stage_name = f"stage:parallel-{stages}"
+            if live is not None:
+                live.set_stage(f"parallel-{stages}")
             tracer.begin(stage_name, delta=delta)
             # Fresh bound per stage: within one stage every pair is offered
             # exactly once (R objects are never replicated), which keeps the
@@ -683,6 +749,7 @@ def parallel_kdj(
             runs: list[list[ResultPair]] = []
             caps: list[float] = []
             all_exhausted = True
+            work["total"] += float(len(tasks))
             if deadline is not None:
                 deadline.check()
             if mode == "serial":
@@ -694,6 +761,7 @@ def parallel_kdj(
                 outcomes = _dispatch_pool(
                     tasks, bound, delta, workers, mode, config,
                     tracer=tracer, counters=counters, deadline=deadline,
+                    telemetry=telemetry,
                 )
             for results, cap_used, exhausted, stats, trace in outcomes:
                 if mode == "serial":
@@ -702,6 +770,11 @@ def parallel_kdj(
                 caps.append(cap_used)
                 all_exhausted = all_exhausted and exhausted
                 total.merge(stats)
+                work["done"] += 1.0
+                if live is not None:
+                    # Per completed partition: estimate (the strip
+                    # width) vs the merged safe bound.
+                    live.set_cutoffs(delta, bound.cutoff)
                 if trace is not None and tracer.enabled:
                     # Re-emit the worker's records on its own track,
                     # shifted from the worker's clock onto the parent's
@@ -717,6 +790,10 @@ def parallel_kdj(
             # answer never repeats a pair.
             final = merge_topk(runs, k, dedupe=True)
             tracer.end(stage_name, results=len(final))
+            if live is not None:
+                live.set_results(len(final))
+                live.stage_done()
+                work["done"] = work["total"]
             # A worker's cap bounds what it computed; the strip width bounds
             # what it even *saw* (S replication stops at delta).  Both limit
             # how far the merged answer is known to be complete — except
@@ -745,6 +822,10 @@ def parallel_kdj(
             delta = new_delta
         tracer.end(f"join:parallel-{algorithm}", results=len(final), stages=stages)
     finally:
+        # Plane first: its final snapshot still reads the work dict and
+        # the telemetry array.
+        if plane is not None:
+            plane.close()
         if owned_tracer is not None:
             owned_tracer.close()
 

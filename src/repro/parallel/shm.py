@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import os
 import secrets
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.geometry.rect import Rect
 
@@ -402,6 +403,118 @@ class AttachedArena:
             self._shm.close()
         except BufferError:  # pragma: no cover
             pass
+
+
+# ----------------------------------------------------------------------
+# Per-worker live telemetry (heartbeat / steal / giveback / queue depth)
+# ----------------------------------------------------------------------
+
+#: Field order of one worker's telemetry slot.  ``heartbeat`` is a
+#: ``time.time()`` stamp (0 = never beaten), ``busy`` is 0/1, the rest
+#: are plain counters/gauges.
+WORKER_FIELDS = (
+    "heartbeat",
+    "busy",
+    "tasks_done",
+    "steals",
+    "givebacks",
+    "queue_depth",
+)
+
+_WF = len(WORKER_FIELDS)
+
+
+class WorkerTelemetry:
+    """A flat double array of per-worker liveness gauges.
+
+    One slot of :data:`WORKER_FIELDS` doubles per worker.  With an mp
+    context the backing is a lock-free ``multiprocessing`` shared array
+    (8-byte aligned doubles: a torn read across a store is a stale
+    sample, never a crash — acceptable for a dashboard); without one it
+    is a plain ``array('d')`` shared by reference between threads.
+
+    Workers write through :class:`WorkerSlot`; the parent's live
+    publisher reads :meth:`snapshot` on its own thread with no locks.
+    """
+
+    __slots__ = ("workers", "arr", "claim")
+
+    def __init__(self, workers: int, ctx: Any = None) -> None:
+        self.workers = workers
+        if ctx is not None:
+            self.arr = ctx.Array("d", workers * _WF, lock=False)
+            #: Slot-claim counter for pool initializers (the tiled
+            #: engine's executors assign worker ids on first spin-up).
+            self.claim = ctx.Value("i", 0)
+        else:
+            import array
+            import multiprocessing
+
+            self.arr = array.array("d", bytes(8 * workers * _WF))
+            self.claim = multiprocessing.Value("i", 0)
+
+    def slot(self, wid: int) -> "WorkerSlot":
+        return WorkerSlot(self.arr, wid)
+
+    def claim_slot(self) -> "WorkerSlot":
+        """Claim the next free slot (pool workers with no fixed id)."""
+        with self.claim.get_lock():
+            wid = self.claim.value
+            self.claim.value += 1
+        return WorkerSlot(self.arr, wid % self.workers)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """One JSON-safe row per worker, for the status file."""
+        now = time.time()
+        rows: list[dict[str, Any]] = []
+        for wid in range(self.workers):
+            base = wid * _WF
+            beat = self.arr[base]
+            rows.append(
+                {
+                    "worker": wid,
+                    "heartbeat_age_s": (now - beat) if beat > 0.0 else None,
+                    "busy": bool(self.arr[base + 1]),
+                    "tasks_done": int(self.arr[base + 2]),
+                    "steals": int(self.arr[base + 3]),
+                    "givebacks": int(self.arr[base + 4]),
+                    "queue_depth": int(self.arr[base + 5]),
+                }
+            )
+        return rows
+
+
+class WorkerSlot:
+    """A worker's write handle into one :class:`WorkerTelemetry` slot.
+
+    Every method is a handful of 8-byte array stores — cheap enough to
+    call at heartbeat sites (task boundaries and control polls), never
+    per candidate pair.
+    """
+
+    __slots__ = ("_arr", "_base")
+
+    def __init__(self, arr, wid: int) -> None:
+        self._arr = arr
+        self._base = wid * _WF
+
+    def beat(self, busy: bool, depth: int = 0) -> None:
+        arr = self._arr
+        base = self._base
+        arr[base] = time.time()
+        arr[base + 1] = 1.0 if busy else 0.0
+        arr[base + 5] = float(depth)
+
+    def task_done(self) -> None:
+        self._arr[self._base + 2] += 1.0
+
+    def stole(self) -> None:
+        """The worker shed half its stack to a steal request."""
+        self._arr[self._base + 3] += 1.0
+
+    def gave_back(self) -> None:
+        """The worker returned a whole prefetched task."""
+        self._arr[self._base + 4] += 1.0
 
 
 def active_segments(prefix: str = SHM_PREFIX) -> list[str]:

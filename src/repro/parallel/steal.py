@@ -61,7 +61,13 @@ from repro.kernels import resolve_backend
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.merge import PairwiseBound
-from repro.parallel.shm import ArenaDescriptor, AttachedArena, TreeArena
+from repro.parallel.shm import (
+    ArenaDescriptor,
+    AttachedArena,
+    TreeArena,
+    WorkerSlot,
+    WorkerTelemetry,
+)
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import trip_worker_faults
 from repro.storage.cost import DEFAULT_COST_MODEL
@@ -364,6 +370,7 @@ def _shm_worker(
     delta: float,
     kernels_name: str | None,
     fault_plan,
+    telemetry=None,
 ) -> None:
     """One work-stealing worker: attach, loop over tasks, shed on demand.
 
@@ -372,8 +379,14 @@ def _shm_worker(
     from the shared cell between expansions.  Any exception — injected
     crashes included — is reported as an ``error`` message; the parent
     treats it like a death and re-enqueues the worker's tasks.
+
+    ``telemetry`` is the raw :class:`WorkerTelemetry` array (or None):
+    the worker stamps its heartbeat/steal/giveback/queue-depth slot at
+    task boundaries and control polls — the same cadence as the other
+    control work, never per candidate pair.
     """
     attached: AttachedArena | None = None
+    slot = WorkerSlot(telemetry, wid) if telemetry is not None else None
     try:
         if fault_plan is not None:
             trip_worker_faults(fault_plan, wid)
@@ -386,6 +399,8 @@ def _shm_worker(
         # Process mode pays pickling per message: flat-array encode.
         encode = _pack if attached is not None else (lambda triples: triples)
         outbox.put(("ready", wid))
+        if slot is not None:
+            slot.beat(busy=False)
         #: Prefetched task messages pulled out of the inbox mid-task.
         backlog: deque = deque()
 
@@ -400,14 +415,20 @@ def _shm_worker(
             if kind == "steal":
                 # Idle (between tasks): nothing on the stack to shed.
                 outbox.put(("shed", wid, []))
+                if slot is not None:
+                    slot.beat(busy=False)
                 continue
             _, tid, dist, nr, ns = msg
             started = time.perf_counter()
             ctr = SweepCounters()
             out: list[tuple[float, int, int]] = []
             stack = [(dist, nr, ns)]
+            if slot is not None:
+                slot.beat(busy=True, depth=len(stack) + len(backlog))
 
             def control(live_stack: list[tuple[float, int, int]]) -> None:
+                if slot is not None:
+                    slot.beat(busy=True, depth=len(live_stack) + len(backlog))
                 if len(out) >= FLUSH_PAIRS:
                     # The cutoff may have tightened since these pairs were
                     # found; pairs above it can never reach the top k
@@ -434,6 +455,8 @@ def _shm_worker(
                             # carving up the live stack.
                             queued = backlog.popleft()
                             outbox.put(("giveback", wid, queued[1]))
+                            if slot is not None:
+                                slot.gave_back()
                         else:
                             # Steal-half: shed the bottom (farthest,
                             # largest) half of the stack to the parent.
@@ -441,12 +464,17 @@ def _shm_worker(
                             shed = live_stack[:half]
                             del live_stack[:half]
                             outbox.put(("shed", wid, encode(shed)))
+                            if slot is not None and shed:
+                                slot.stole()
 
             _run_pairs(vr, vs, stack, cap_now, kern, ctr, out, control)
             busy_s = time.perf_counter() - started
             cap = cap_now()
             tail = [p for p in out if p[0] <= cap]
             outbox.put(("done", wid, tid, ctr.as_dict(), busy_s, encode(tail)))
+            if slot is not None:
+                slot.task_done()
+                slot.beat(busy=False, depth=len(backlog))
     except _Stop:
         pass
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
@@ -483,6 +511,7 @@ class _StageRuntime:
         arena: TreeArena,
         delta: float,
         config: "JoinConfig",
+        telemetry: WorkerTelemetry | None = None,
     ) -> None:
         self.mode = mode
         self.workers = workers
@@ -490,6 +519,7 @@ class _StageRuntime:
         self.procs: dict[int, Any] = {}
         self.inboxes: dict[int, Any] = {}
         self.dead: set[int] = set()
+        tele_arr = telemetry.arr if telemetry is not None else None
         if mode == "shm-process":
             from repro.parallel.engine import _mp_context
 
@@ -503,7 +533,7 @@ class _StageRuntime:
                     target=_shm_worker,
                     args=(
                         wid, source, inbox, self.outbox, self.cell,
-                        delta, config.kernels, config.fault_plan,
+                        delta, config.kernels, config.fault_plan, tele_arr,
                     ),
                     daemon=True,
                 )
@@ -520,7 +550,7 @@ class _StageRuntime:
                     target=_shm_worker,
                     args=(
                         wid, source, inbox, self.outbox, self.cell,
-                        delta, config.kernels, config.fault_plan,
+                        delta, config.kernels, config.fault_plan, tele_arr,
                     ),
                     daemon=True,
                 )
@@ -574,11 +604,14 @@ def _run_stage_pool(
     config: "JoinConfig",
     deadline: Deadline | None,
     tracer: Tracer,
+    work: dict[str, float] | None = None,
 ) -> list[tuple[float, int, int]]:
     """Dispatch/steal/commit loop for one stage on live workers.
 
     Returns the tasks left over if every worker died (the caller drains
-    them inline); an empty list means the stage completed.
+    them inline); an empty list means the stage completed.  ``work``
+    (when given) accumulates scheduling units for the live progress
+    plane: ``done`` per completed task, ``total`` grown by shed splits.
     """
     pending: deque[tuple[float, int, int]] = deque(tasks)
     buffers: dict[int, list[tuple[float, int, int]]] = {}
@@ -688,6 +721,8 @@ def _run_stage_pool(
                     metrics.counter("shm.steals").inc()
                     metrics.counter("shm.shed_tasks").inc(float(len(shed)))
                     last_ask.pop(wid, None)
+                    if work is not None:
+                        work["total"] += float(len(shed))
             elif kind == "giveback":
                 # The worker returned a prefetched, never-started task.
                 last_life[wid] = time.monotonic()
@@ -709,6 +744,8 @@ def _run_stage_pool(
                 worker_busy[wid] = worker_busy.get(wid, 0.0) + busy_s
                 if tid in outstanding[wid]:
                     outstanding[wid].remove(tid)
+                if work is not None:
+                    work["done"] += 1.0
             elif kind == "error":
                 worker_failed(wid, msg[2])
             try:
@@ -798,6 +835,29 @@ def shm_parallel_kdj(
         from repro.obs import tracer_for
 
         tracer = owned_tracer = tracer_for(config.trace_path, config.trace_format)
+    from repro.obs.live import LivePlane
+
+    plane = LivePlane.from_config(config)
+    live = plane.progress if plane is not None else None
+    work = {"done": 0.0, "total": 0.0}
+    telemetry: WorkerTelemetry | None = None
+    if plane is not None:
+        profiled = plane.ensure_tracer(tracer)
+        if profiled is not tracer:
+            # Sink-less tracer: span names for the profiler, no events.
+            tracer = owned_tracer = profiled
+        plane.attach_metrics(metrics)
+        plane.set_work_source(lambda: (work["done"], work["total"]))
+        if mode != "shm-serial":
+            if mode == "shm-process":
+                from repro.parallel.engine import _mp_context
+
+                telemetry = WorkerTelemetry(workers, ctx=_mp_context())
+            else:
+                telemetry = WorkerTelemetry(workers)
+            plane.attach_workers(telemetry)
+        live.start(f"parallel-{algorithm}", k)
+        plane.start(tracer)
     if deadline is not None:
         deadline.bind_tracer(tracer)
 
@@ -815,6 +875,9 @@ def shm_parallel_kdj(
         while True:
             stages += 1
             stage_name = f"stage:parallel-{stages}"
+            if live is not None:
+                live.set_stage(f"parallel-{stages}")
+                live.set_cutoffs(delta, bound.cutoff)
             tracer.begin(stage_name, delta=delta)
             # Fresh bound and accumulator per stage: a widened re-run
             # re-discovers every pair, and the pair-keyed bound must not
@@ -836,6 +899,12 @@ def shm_parallel_kdj(
                     if offer(*pair):
                         acc.append(pair)
                 cell.value = bound.cutoff
+                if live is not None:
+                    # Per committed batch, not per pair: the estimate
+                    # (delta) vs the merged safe bound is the paper's
+                    # own convergence signal.
+                    live.set_results(min(len(acc), k))
+                    live.set_cutoffs(delta, bound.cutoff)
                 if len(acc) > prune_floor and bound.is_finite:
                     cutoff = bound.cutoff
                     acc[:] = [pair for pair in acc if pair[0] <= cutoff]
@@ -846,6 +915,7 @@ def shm_parallel_kdj(
                 stage_out, metrics,
             )
             partitions = max(partitions, len(tasks))
+            work["total"] += float(len(tasks))
             commit(stage_out)
             if deadline is not None:
                 deadline.check()
@@ -854,13 +924,15 @@ def shm_parallel_kdj(
                     arena, tasks, delta, cell, commit, kern, ctr, deadline
                 )
             else:
-                runtime = _StageRuntime(mode, workers, arena, delta, config)
+                runtime = _StageRuntime(
+                    mode, workers, arena, delta, config, telemetry
+                )
                 cell = runtime.cell
                 cell.value = bound.cutoff
                 try:
                     leftovers = _run_stage_pool(
                         runtime, tasks, commit, ctr, counters, metrics,
-                        worker_busy, config, deadline, tracer,
+                        worker_busy, config, deadline, tracer, work,
                     )
                 finally:
                     runtime.shutdown()
@@ -876,6 +948,11 @@ def shm_parallel_kdj(
             del acc[k:]
             final = [ResultPair._make(pair) for pair in acc]
             tracer.end(stage_name, results=len(final))
+            if live is not None:
+                live.stage_done()
+                # Inline drains and dead-worker fallbacks bypass the
+                # per-task accounting: square the books at stage end.
+                work["done"] = work["total"]
             if delta >= delta_max:
                 # The sweep covered the whole space: nothing was pruned
                 # by the cap, so the answer is complete (even if < k).
@@ -888,7 +965,15 @@ def shm_parallel_kdj(
                 tracer.event("delta_widen", old=delta, new=new_delta, needed=needed)
             delta = new_delta
         tracer.end(f"join:parallel-{algorithm}", results=len(final), stages=stages)
+        if tracer.enabled:
+            # Final registry snapshot into the trace so offline report
+            # rendering can derive distribution percentiles.
+            tracer.counter("metrics:final", **metrics.snapshot())
     finally:
+        # Plane first: its final snapshot still reads the work dict,
+        # registry and telemetry array.
+        if plane is not None:
+            plane.close()
         arena.close()
         if owned_tracer is not None:
             owned_tracer.close()

@@ -14,7 +14,13 @@ import pytest
 
 from repro.core.api import JoinConfig, JoinRunner, k_distance_join
 from repro.core.stats import JoinStats
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    GAUGE_KEY_SUFFIX,
+    Histogram,
+    MetricsRegistry,
+    histogram_names,
+    snapshot_percentiles,
+)
 from repro.obs.report import collect_spans, load_trace, render_report
 from repro.obs.sinks import ChromeTraceSink, CollectSink, JsonlSink, open_sink
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -175,7 +181,9 @@ class TestMetrics:
         registry.gauge("delta").set(4.5)
         snap = registry.snapshot()
         assert snap["obs.spills"] == 3.0
-        assert snap["obs.delta"] == 4.5
+        # gauges export under the merge marker so JoinStats.merge maxes
+        # them instead of summing point-in-time readings
+        assert snap[f"obs.delta{GAUGE_KEY_SUFFIX}"] == 4.5
 
     def test_histogram_buckets_and_edges(self):
         hist = Histogram("d")
@@ -210,6 +218,60 @@ class TestMetrics:
         for value in (1.0, 8.0, 2.0, 8.5):
             hist.observe(value)
         assert stats_a.extra == combined.snapshot()
+
+    def test_gauge_snapshots_merge_as_max_not_sum(self):
+        # Regression: gauges are point-in-time readings — two workers at
+        # queue depth 7 and 3 have a peak of 7, not a "total" of 10.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("shm.queue_depth").set(7.0)
+        b.gauge("shm.queue_depth").set(3.0)
+        a.counter("shm.tasks").inc(2.0)
+        b.counter("shm.tasks").inc(5.0)
+        stats_a, stats_b = JoinStats(), JoinStats()
+        stats_a.extra.update(a.snapshot())
+        stats_b.extra.update(b.snapshot())
+        stats_a.merge(stats_b)
+        key = f"obs.shm.queue_depth{GAUGE_KEY_SUFFIX}"
+        assert stats_a.extra[key] == 7.0  # maxed
+        assert stats_a.extra["obs.shm.tasks"] == 7.0  # summed
+
+    def test_gauge_key_carries_merge_marker(self):
+        registry = MetricsRegistry()
+        registry.gauge("occupancy").set(0.5)
+        snap = registry.snapshot()
+        assert f"obs.occupancy{GAUGE_KEY_SUFFIX}" in snap
+        assert "obs.occupancy" not in snap
+
+    def test_histogram_percentiles_interpolate_buckets(self):
+        hist = Histogram("d")
+        for _ in range(100):
+            hist.observe(1.5)  # all mass in [1, 2)
+        assert 1.0 <= hist.percentile(0.5) <= 2.0
+        assert 1.0 <= hist.percentile(0.99) <= 2.0
+        assert hist.percentile(0.5) <= hist.percentile(0.99)
+        ps = hist.percentiles()
+        assert set(ps) == {"p50", "p95", "p99"}
+
+    def test_histogram_percentile_edge_cases(self):
+        empty = Histogram("e")
+        assert empty.percentile(0.5) == 0.0
+        zeros = Histogram("z")
+        for _ in range(10):
+            zeros.observe(0.0)
+        assert zeros.percentile(0.5) == 0.0
+
+    def test_snapshot_percentiles_from_flat_extras(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("result_distance")
+        for value in (0.0, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        extra = registry.snapshot()
+        ps = snapshot_percentiles(extra, "obs.result_distance")
+        assert ps is not None
+        assert ps["p50"] <= ps["p95"] <= ps["p99"]
+        assert ps["p99"] <= 4.0  # inside the top bucket [2, 4)
+        assert snapshot_percentiles(extra, "obs.missing") is None
+        assert histogram_names(extra) == ["obs.result_distance"]
 
 
 # ----------------------------------------------------------------------
@@ -283,7 +345,8 @@ class TestEngineTraces:
 
     def test_stage_counters_attribute_work(self, tmp_path, small_trees):
         result, records = _run_traced(tmp_path, small_trees, "amkdj")
-        counters = [r for r in records if r["ph"] == "C"]
+        counters = [r for r in records
+                    if r["ph"] == "C" and "dist_comps" in r["args"]]
         assert counters, "expected per-stage counter events"
         total = sum(c["args"]["dist_comps"] for c in counters)
         assert total == result.stats.real_distance_computations
@@ -374,6 +437,46 @@ class TestReport:
         path.write_text("")
         report = render_report(path)
         assert "no spans recorded" in report
+        assert "no final metrics snapshot" in report
+
+    def test_truncated_trace_raises_with_line_number(self, tmp_path):
+        # A crash mid-write leaves a cut-off last line; the renderer
+        # must point at it instead of silently dropping records.
+        path = tmp_path / "cut.jsonl"
+        path.write_text(
+            '{"ts": 0.0, "ph": "B", "name": "join:x", "track": 0, "args": {}}\n'
+            '{"ts": 1.0, "ph": "E", "na'
+        )
+        with pytest.raises(ValueError, match="2: not valid JSONL"):
+            render_report(path)
+
+    def test_mixed_format_sniffed_by_content(self, tmp_path):
+        # Chrome-format content behind a .jsonl name: load_trace sniffs
+        # the document, not the extension.
+        path = tmp_path / "mislabeled.jsonl"
+        path.write_text(json.dumps({
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {"ts": 0.0, "ph": "B", "name": "join:x", "pid": 0,
+                 "tid": 0, "args": {}},
+                {"ts": 5_000_000.0, "ph": "E", "name": "join:x", "pid": 0,
+                 "tid": 0, "args": {}},
+            ],
+        }))
+        report = render_report(path)
+        assert "join:x" in report
+        assert "stage timeline" in report
+
+    def test_distributions_section_from_final_metrics(self, tmp_path, small_trees):
+        path = tmp_path / "dist.jsonl"
+        tree_r, tree_s = small_trees
+        JoinRunner(tree_r, tree_s, JoinConfig(trace_path=str(path))).kdj(
+            40, "amkdj"
+        )
+        report = render_report(path)
+        assert "distributions" in report
+        assert "obs.result_distance" in report
+        assert "p99" in report
 
 
 # ----------------------------------------------------------------------
@@ -439,3 +542,43 @@ class TestCli:
         ])
         out = capsys.readouterr().out
         assert "trace written to" in out
+
+    def test_trace_flame_emits_collapsed_stacks(self, cli_dataset, capsys):
+        from repro.__main__ import main
+
+        trace_path = cli_dataset / "flame.jsonl"
+        main([
+            "join", str(cli_dataset / "streets.rt"),
+            str(cli_dataset / "hydro.rt"),
+            "-k", "30", "--trace", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--flame"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines
+        assert any("join:amkdj" in line for line in lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_join_with_live_flags_and_top(self, cli_dataset, capsys):
+        from repro.__main__ import main
+
+        status = cli_dataset / "join.status"
+        profile = cli_dataset / "join.folded"
+        code = main([
+            "join", str(cli_dataset / "streets.rt"),
+            str(cli_dataset / "hydro.rt"),
+            "-k", "100",
+            "--status-file", str(status),
+            "--profile", str(profile),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "profile written to" in out
+        assert profile.exists()
+        assert main(["top", str(status), "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "repro join [amkdj] done" in frame
+        assert "100.0%" in frame

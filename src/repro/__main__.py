@@ -35,7 +35,7 @@ import sys
 
 from repro import JoinConfig, JoinRunner, RTree
 from repro.datagen.tiger import synthetic_tiger
-from repro.resilience.errors import ReproError
+from repro.resilience.errors import JoinInterrupted, ReproError
 from repro.resilience.faults import FaultPlan
 from repro.workloads import experiments
 from repro.workloads.tables import print_table
@@ -91,9 +91,33 @@ def _cmd_join(args: argparse.Namespace) -> int:
         status_interval_s=args.status_interval,
         metrics_port=args.metrics_port,
         profile_path=args.profile,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_pairs=args.checkpoint_every_pairs,
+        checkpoint_every_s=args.checkpoint_every_s,
+        resume_from=args.resume,
     )
+    if args.checkpoint is not None:
+        # Graceful shutdown: SIGINT/SIGTERM now request a final
+        # checkpoint at the join's next barrier instead of killing the
+        # process mid-write.
+        from repro.resilience.checkpoint import CheckpointManager
+
+        CheckpointManager.install_signal_handlers()
     runner = JoinRunner(tree_r, tree_s, config)
-    result = runner.kdj(args.k, args.algorithm)
+    try:
+        result = runner.kdj(args.k, args.algorithm)
+    except JoinInterrupted as exc:
+        # Partial-stats JSON on stdout (machine-readable resume handle),
+        # one human line on stderr, distinct exit code.
+        payload = {
+            "interrupted": True,
+            "signal": exc.signal_name,
+            "checkpoint": exc.checkpoint_path,
+            "stats": exc.stats.as_row() if exc.stats is not None else None,
+        }
+        print(json.dumps(payload, indent=2, default=repr))
+        print(f"repro: {exc}", file=sys.stderr)
+        return exc.exit_code
     s = result.stats
     if args.json:
         row = s.as_row()
@@ -211,7 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deterministic fault injection, e.g. "
                            "'worker_crash:@1,seed=7' or 'spill_write:@0' "
                            "(sites: worker_crash, worker_kill, worker_stall, "
-                           "spill_write, spill_read)")
+                           "spill_write, spill_read, checkpoint_write, "
+                           "checkpoint_read)")
+    join.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="periodically snapshot the join's full state to "
+                           "PATH (atomic, checksummed) and turn SIGINT/"
+                           "SIGTERM into a final checkpoint + exit 77")
+    join.add_argument("--checkpoint-every-pairs", type=int, default=None,
+                      metavar="N",
+                      help="checkpoint cadence: every N emitted result "
+                           "pairs (combinable with --checkpoint-every-s)")
+    join.add_argument("--checkpoint-every-s", type=float, default=None,
+                      metavar="SECONDS",
+                      help="checkpoint cadence: every T seconds (default "
+                           "5s when only --checkpoint is given)")
+    join.add_argument("--resume", metavar="PATH", default=None,
+                      help="resume an interrupted join from a checkpoint "
+                           "written by --checkpoint; the remaining result "
+                           "stream is byte-identical to an uninterrupted "
+                           "run")
     join.add_argument("--trace", metavar="PATH", default=None,
                       help="record a structured event trace (JSONL, or a "
                            "Chrome trace_event JSON for .json paths)")

@@ -61,6 +61,7 @@ def amidj(
     initial_k: int = 1000,
     edmax_schedule: list[float] | None = None,
     state: AMIDJState | None = None,
+    resume: dict | None = None,
 ) -> Iterator[ResultPair]:
     """Generator of join results in increasing distance order.
 
@@ -76,12 +77,19 @@ def amidj(
         estimates take over.
     state:
         Optional observable state object, updated in place.
+    resume:
+        Checkpoint ``engine`` state (mode ``"exact"``): queue, live
+        expansion records, remaining schedule and stage bookkeeping are
+        restored and the stream continues byte-identically from the
+        captured boundary.
     """
     if initial_k <= 0:
         raise ValueError("initial_k must be positive")
     state = state if state is not None else AMIDJState()
-    roots = ctx.root_items()
-    if roots is None:
+    # On resume the roots were consumed (and charged) pre-checkpoint;
+    # re-fetching them would skew node-access counters.
+    roots = ctx.root_items() if resume is None else None
+    if roots is None and resume is None:
         return
 
     queue = ctx.main_queue
@@ -96,15 +104,28 @@ def amidj(
 
     schedule = list(edmax_schedule or [])
     target_k = initial_k
-    edmax = schedule.pop(0) if schedule else ctx.initial_edmax(target_k)
-    if not math.isfinite(edmax):
-        # No density model: fall back to a diameter-bounded cutoff so the
-        # algorithm still terminates (degenerates to one giant stage).
-        edmax = _space_diameter(ctx)
-    state.edmax = edmax
-
-    produced = 0
-    last_distance = 0.0
+    if resume is not None:
+        schedule = list(resume["schedule"])
+        target_k = resume["target_k"]
+        edmax = resume["edmax"]
+        produced = resume["produced"]
+        last_distance = resume["last_distance"]
+        saved = resume["state"]
+        state.stage = saved["stage"]
+        state.edmax = saved["edmax"]
+        state.produced = saved["produced"]
+        state.compensations = saved["compensations"]
+        state.comp_records_peak = saved["comp_records_peak"]
+    else:
+        edmax = schedule.pop(0) if schedule else ctx.initial_edmax(target_k)
+        if not math.isfinite(edmax):
+            # No density model: fall back to a diameter-bounded cutoff so
+            # the algorithm still terminates (degenerates to one giant
+            # stage).
+            edmax = _space_diameter(ctx)
+        state.edmax = edmax
+        produced = 0
+        last_distance = 0.0
 
     def emit(item_r: Item, item_s: Item, real: float) -> None:
         queue.insert(real, PairPayload(item_r, item_s))
@@ -121,11 +142,44 @@ def amidj(
     # computation lands in a stage delta.
     meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
 
-    root_r, root_s = roots
-    queue.insert(
-        ctx.instr.real_distance(root_r.rect, root_s.rect),
-        PairPayload(root_r, root_s),
-    )
+    if resume is not None:
+        queue.restore(resume["queue"])
+        records = list(resume["records"])
+        ctx.restore_buffers(resume.get("buffers"))
+    else:
+        root_r, root_s = roots
+        queue.insert(
+            ctx.instr.real_distance(root_r.rect, root_s.rect),
+            PairPayload(root_r, root_s),
+        )
+
+    ckpt = ctx.checkpoint
+
+    def build_checkpoint() -> dict:
+        stats = ctx.make_stats("amidj", produced, produced)
+        stats.compensation_stages = state.compensations
+        stats.compensation_peak = state.comp_records_peak
+        return {
+            "mode": "exact",
+            "engine": {
+                "queue": queue.snapshot(),
+                "records": list(records),
+                "schedule": list(schedule),
+                "target_k": target_k,
+                "edmax": edmax,
+                "produced": produced,
+                "last_distance": last_distance,
+                "buffers": ctx.buffer_state(),
+                "state": {
+                    "stage": state.stage,
+                    "edmax": state.edmax,
+                    "produced": state.produced,
+                    "compensations": state.compensations,
+                    "comp_records_peak": state.comp_records_peak,
+                },
+            },
+            "stats": stats,
+        }
 
     def advance_stage() -> float:
         """Stage boundary: close the span, re-estimate, resume records."""
@@ -156,6 +210,8 @@ def amidj(
     try:
         while True:
             deadline.tick()
+            if ckpt is not None:
+                ckpt.barrier(build_checkpoint)
             if not queue:
                 if not records:
                     return  # dataset exhausted: every pair has been produced
@@ -176,6 +232,8 @@ def amidj(
                 produced += 1
                 last_distance = distance
                 state.produced = produced
+                if ckpt is not None:
+                    ckpt.note_emit()
                 if result_hist is not None:
                     result_hist.observe(distance)
                 if live is not None:

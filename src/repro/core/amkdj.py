@@ -48,6 +48,7 @@ def amkdj(
     k: int,
     edmax: float | None = None,
     adaptive: bool = False,
+    resume: dict | None = None,
 ) -> tuple[list[ResultPair], JoinStats]:
     """Run AM-KDJ and return the k nearest pairs with run metrics.
 
@@ -63,12 +64,20 @@ def amkdj(
     adaptive:
         Re-estimate ``eDmax`` with Section 4.3.2's corrections at the
         25/50/75% result milestones.
+    resume:
+        Checkpoint ``engine`` state (mode ``"exact"``).  Checkpoints
+        record which stage was active: a stage-one resume restores the
+        aggressive loop's cutoff bookkeeping and compensation queue; a
+        stage-two resume re-enters the compensation loop directly (the
+        pending records already ride in the restored main queue).
     """
     if k <= 0:
         raise ValueError("k must be positive")
     results: list[ResultPair] = []
-    roots = ctx.root_items()
-    if roots is None:
+    # On resume the roots were consumed (and charged) pre-checkpoint;
+    # re-fetching them would skew node-access counters.
+    roots = ctx.root_items() if resume is None else None
+    if roots is None and resume is None:
         return results, ctx.make_stats("amkdj", k, 0)
 
     queue = ctx.main_queue
@@ -88,6 +97,15 @@ def amkdj(
     initial_edmax = edmax_value
     min_unsafe_cutoff = math.inf
     next_milestone = max(k // 4, 1) if adaptive else k + 1
+    resume_stage = 0
+    if resume is not None:
+        resume_stage = resume["stage"]
+        results = list(resume["results"])
+        initial_edmax = resume["initial_edmax"]
+        if resume_stage == 1:
+            edmax_value = resume["edmax_value"]
+            min_unsafe_cutoff = resume["min_unsafe_cutoff"]
+            next_milestone = resume["next_milestone"]
 
     def qdmax() -> float:
         return distance_queue.cutoff
@@ -114,11 +132,43 @@ def amkdj(
     # computation is attributed to a stage.
     meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
 
-    root_r, root_s = roots
-    queue.insert(
-        ctx.instr.real_distance(root_r.rect, root_s.rect),
-        PairPayload(root_r, root_s),
-    )
+    if resume is not None:
+        queue.restore(resume["queue"])
+        distance_queue.restore(resume["dq"])
+        comp_queue.restore(resume["comp"])
+        ctx.restore_buffers(resume.get("buffers"))
+    else:
+        root_r, root_s = roots
+        queue.insert(
+            ctx.instr.real_distance(root_r.rect, root_s.rect),
+            PairPayload(root_r, root_s),
+        )
+
+    ckpt = ctx.checkpoint
+
+    def build_checkpoint(stage: int) -> dict:
+        stats = ctx.make_stats("amkdj", k, len(results))
+        stats.distance_queue_insertions = distance_queue.insertions
+        stats.compensation_stages = stage - 1
+        stats.compensation_peak = comp_queue.peak_size
+        stats.edmax_initial = initial_edmax
+        engine = {
+            "stage": stage,
+            "results": list(results),
+            "queue": queue.snapshot(),
+            "dq": distance_queue.snapshot(),
+            "comp": comp_queue.snapshot(),
+            "initial_edmax": initial_edmax,
+            "buffers": ctx.buffer_state(),
+        }
+        if stage == 1:
+            engine.update(
+                edmax_value=edmax_value,
+                min_unsafe_cutoff=min_unsafe_cutoff,
+                next_milestone=next_milestone,
+                estimate_active=estimate_active,
+            )
+        return {"mode": "exact", "engine": engine, "stats": stats}
 
     # ------------------------------------------------------------------
     # Stage one: aggressive pruning (Algorithm 2)
@@ -130,9 +180,13 @@ def amkdj(
     batch = tracer.batcher("expand")
     estimate_active = True  # until line 8 replaces eDmax with qDmax
     need_compensation = False
+    if resume_stage == 1:
+        estimate_active = resume["estimate_active"]
     deadline = ctx.deadline
-    while len(results) < k and queue:
+    while resume_stage != 2 and len(results) < k and queue:
         deadline.tick()
+        if ckpt is not None:
+            ckpt.barrier(lambda: build_checkpoint(1))
         distance, payload = queue.pop()
         if distance > min_unsafe_cutoff:
             # Line 9 (corrected): anything at this distance — including an
@@ -144,6 +198,8 @@ def amkdj(
             break
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            if ckpt is not None:
+                ckpt.note_emit()
             if result_hist is not None:
                 result_hist.observe(distance)
             if live is not None:
@@ -201,7 +257,7 @@ def amkdj(
     # Stage two: compensation (Algorithm 3)
     # ------------------------------------------------------------------
     stages = 0
-    if need_compensation or (len(results) < k and comp_queue):
+    if resume_stage == 2 or need_compensation or (len(results) < k and comp_queue):
         stages = 1
         tracer.begin("stage:compensation")
         if live is not None:
@@ -210,13 +266,20 @@ def amkdj(
         tracer.event("compensation_resume", records=len(comp_queue),
                      produced=len(results), qdmax=qdmax())
         batch = tracer.batcher("expand:compensate")
+        # On a stage-two resume the drain already happened before the
+        # checkpoint: the pending records ride inside the restored main
+        # queue as payload.record, so there is nothing left to insert.
         for record in comp_queue.drain():
             queue.insert(record.distance, PairPayload(record.a, record.b, record))
         while len(results) < k and queue:
             deadline.tick()
+            if ckpt is not None:
+                ckpt.barrier(lambda: build_checkpoint(2))
             distance, payload = queue.pop()
             if payload.is_object_pair:
                 results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+                if ckpt is not None:
+                    ckpt.note_emit()
                 if result_hist is not None:
                     result_hist.observe(distance)
                 if live is not None:

@@ -101,6 +101,19 @@ class JoinConfig:
     typed error — never a silently incomplete top-k.  ``fault_plan``
     arms the deterministic fault-injection harness
     (:class:`~repro.resilience.faults.FaultPlan`).
+
+    Checkpoint/resume (:mod:`repro.resilience.checkpoint`):
+    ``checkpoint_path`` makes the run snapshot its full join state to
+    that file — atomically replaced, CRC-checked — every
+    ``checkpoint_every_pairs`` emitted pairs and/or
+    ``checkpoint_every_s`` seconds (default: every 5 s), and once more
+    on a graceful SIGINT/SIGTERM shutdown.  ``resume_from`` restores a
+    checkpoint and continues the join: engines with exact state capture
+    (hs, bkdj, amkdj, amidj and both incremental streams) produce the
+    byte-identical remaining result stream; replay engines (sjsort,
+    nlj) re-run from scratch.  With ``checkpoint_path`` unset no
+    checkpoint machinery is allocated and every reported counter is
+    unchanged.
     """
 
     queue_memory: int = DEFAULT_QUEUE_MEMORY
@@ -134,6 +147,10 @@ class JoinConfig:
     worker_retries: int = 2
     retry_backoff_s: float = 0.05
     fault_plan: "FaultPlan | None" = None
+    checkpoint_path: str | None = None
+    checkpoint_every_pairs: int | None = None
+    checkpoint_every_s: float | None = None
+    resume_from: str | None = None
 
     def engine_options(self) -> EngineOptions:
         return EngineOptions(
@@ -213,7 +230,9 @@ class JoinRunner:
 
         return LivePlane.from_config(self.config)
 
-    def _context(self, tracer=None, metrics=None, live=None) -> JoinContext:
+    def _context(
+        self, tracer=None, metrics=None, live=None, checkpoint=None
+    ) -> JoinContext:
         cfg = self.config
         # A fresh deadline per run: the budget covers one join, not the
         # runner's lifetime.
@@ -233,7 +252,72 @@ class JoinRunner:
             deadline=deadline,
             faults=cfg.fault_plan,
             live=live,
+            checkpoint=checkpoint,
         )
+
+    def _open_checkpoint(
+        self, algorithm: str, k: int, tracer, metrics, modes=("exact", "replay")
+    ):
+        """(CheckpointManager | None, resume payload | None) for one run.
+
+        With neither ``checkpoint_path`` nor ``resume_from`` set this is
+        ``(None, None)`` and nothing is imported or allocated — the
+        counter-invariance guarantee.  A resume payload is loaded,
+        CRC-verified and validated against this join's fingerprint and
+        the resume ``modes`` the caller can execute; the manager (if
+        any) inherits the checkpoint's watermark so subsequent snapshots
+        count the whole logical stream.
+        """
+        cfg = self.config
+        if cfg.checkpoint_path is None and cfg.resume_from is None:
+            return None, None
+        from repro.resilience.checkpoint import CheckpointManager, join_fingerprint
+
+        fingerprint = join_fingerprint(self.tree_r, self.tree_s, algorithm, k)
+        resume_payload = None
+        if cfg.resume_from is not None:
+            from repro.resilience.recovery import load_checkpoint, validate_checkpoint
+
+            resume_payload = load_checkpoint(cfg.resume_from, faults=cfg.fault_plan)
+            validate_checkpoint(
+                resume_payload,
+                algorithm=algorithm,
+                k=k,
+                fingerprint=fingerprint,
+                modes=modes,
+            )
+        manager = CheckpointManager.from_config(
+            self.config,
+            algorithm=algorithm,
+            k=k,
+            fingerprint=fingerprint,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        if manager is not None and resume_payload is not None:
+            manager.note_emit(resume_payload.get("watermark", 0))
+            manager._last_emit_mark = manager.emitted
+        return manager, resume_payload
+
+    @staticmethod
+    def _merge_resume_prefix(stats: JoinStats, resume_payload: dict | None) -> None:
+        """Fold the pre-crash stats prefix into a resumed run's stats.
+
+        Only exact-state resumes merge: a replay engine re-does (and
+        re-counts) all the work itself.  The prefix's ``results``,
+        ``compensation_stages`` and ``wall_time`` are zeroed first —
+        the resumed run already reports the full logical values for
+        those (results restored into its lists, stage flags re-derived,
+        wall clock restarted) and summing or maxing them would double
+        count.
+        """
+        if resume_payload is None or resume_payload.get("mode") != "exact":
+            return
+        prefix = resume_payload["stats"]
+        prefix.results = 0
+        prefix.compensation_stages = 0
+        prefix.wall_time = 0.0
+        stats.merge(prefix)
 
     # ------------------------------------------------------------------
 
@@ -263,11 +347,23 @@ class JoinRunner:
         if plane is not None:
             tracer = plane.ensure_tracer(tracer)
         metrics = self._metrics(tracer, plane)
+        checkpoint, resume_payload = self._open_checkpoint(
+            algorithm, k, tracer, metrics
+        )
+        # Replay engines re-run from scratch; only exact-state engines
+        # receive restored state.
+        resume_state = None
+        if resume_payload is not None and resume_payload.get("mode") == "exact":
+            resume_state = resume_payload["engine"]
         ctx = self._context(
-            tracer, metrics, live=plane.progress if plane is not None else None
+            tracer,
+            metrics,
+            live=plane.progress if plane is not None else None,
+            checkpoint=checkpoint,
         )
         if plane is not None:
             plane.attach_metrics(metrics)
+            plane.attach_checkpoint(checkpoint)
             plane.progress.start(algorithm, k)
             queue, queue_stats = ctx.main_queue, ctx.main_queue.stats
             plane.set_work_source(
@@ -277,12 +373,16 @@ class JoinRunner:
         started = time.perf_counter()
         try:
             if algorithm == "hs":
-                results, stats = hs_mod.hs_kdj(ctx, k)
+                results, stats = hs_mod.hs_kdj(ctx, k, resume=resume_state)
             elif algorithm == "bkdj":
-                results, stats = bkdj_mod.bkdj(ctx, k)
+                results, stats = bkdj_mod.bkdj(ctx, k, resume=resume_state)
             elif algorithm == "amkdj":
                 results, stats = amkdj_mod.amkdj(
-                    ctx, k, edmax=self.config.edmax, adaptive=self.config.adaptive_edmax
+                    ctx,
+                    k,
+                    edmax=self.config.edmax,
+                    adaptive=self.config.adaptive_edmax,
+                    resume=resume_state,
                 )
             elif algorithm == "nlj":
                 from repro.core import nested_loop
@@ -300,9 +400,12 @@ class JoinRunner:
             # live queue and registry.
             if plane is not None:
                 plane.close()
+            if checkpoint is not None:
+                checkpoint.close()
             ctx.close()
             if owned:
                 tracer.close()
+        self._merge_resume_prefix(stats, resume_payload)
         stats.wall_time = time.perf_counter() - started
         return JoinResult(results, stats)
 
@@ -317,11 +420,22 @@ class JoinRunner:
         if plane is not None:
             tracer = plane.ensure_tracer(tracer)
         metrics = self._metrics(tracer, plane)
+        # An incremental stream has no preset k; fingerprint with k=0.
+        checkpoint, resume_payload = self._open_checkpoint(
+            algorithm, 0, tracer, metrics, modes=("exact",)
+        )
+        resume_state = (
+            resume_payload["engine"] if resume_payload is not None else None
+        )
         ctx = self._context(
-            tracer, metrics, live=plane.progress if plane is not None else None
+            tracer,
+            metrics,
+            live=plane.progress if plane is not None else None,
+            checkpoint=checkpoint,
         )
         if plane is not None:
             plane.attach_metrics(metrics)
+            plane.attach_checkpoint(checkpoint)
             # Incremental streams have no preset k; progress reports the
             # produced count and queue work fraction only.
             plane.progress.start(algorithm, 0)
@@ -331,7 +445,7 @@ class JoinRunner:
             )
             plane.start(tracer)
         if algorithm == "hs":
-            generator = hs_mod.hs_idj(ctx)
+            generator = hs_mod.hs_idj(ctx, resume=resume_state)
             name = "hs-idj"
             state = None
         else:
@@ -346,11 +460,14 @@ class JoinRunner:
                 initial_k=self.config.initial_k,
                 edmax_schedule=schedule,
                 state=state,
+                resume=resume_state,
             )
             name = "am-idj"
         return IncrementalJoin(ctx, generator, name, state,
                                owned_tracer=tracer if owned else None,
-                               plane=plane)
+                               plane=plane,
+                               checkpoint=checkpoint,
+                               resume_payload=resume_payload)
 
     # ------------------------------------------------------------------
 
@@ -374,6 +491,8 @@ class IncrementalJoin:
         state: "amidj_mod.AMIDJState | None",
         owned_tracer=None,
         plane=None,
+        checkpoint=None,
+        resume_payload: dict | None = None,
     ) -> None:
         self._ctx = ctx
         self._generator = generator
@@ -384,6 +503,12 @@ class IncrementalJoin:
         self._closed = False
         self._owned_tracer = owned_tracer
         self._plane = plane
+        self._checkpoint = checkpoint
+        self._resume_payload = resume_payload
+        if resume_payload is not None:
+            # The stream's consumer-facing produced count spans the
+            # whole logical join, checkpointed prefix included.
+            self._produced = resume_payload.get("watermark", 0)
 
     def close(self) -> None:
         """Release the run's resources (spill files); idempotent.
@@ -400,6 +525,8 @@ class IncrementalJoin:
             if self._plane is not None:
                 # Final status snapshot while the queue is still live.
                 self._plane.close()
+            if self._checkpoint is not None:
+                self._checkpoint.close()
             self._ctx.close()
             if self._owned_tracer is not None:
                 self._owned_tracer.close()
@@ -431,6 +558,7 @@ class IncrementalJoin:
     def stats(self) -> JoinStats:
         """Metric snapshot covering everything pulled so far."""
         stats = self._ctx.make_stats(self._name, self._produced, self._produced)
+        JoinRunner._merge_resume_prefix(stats, self._resume_payload)
         stats.wall_time = time.perf_counter() - self._started
         if self._state is not None:
             stats.compensation_stages = self._state.compensations

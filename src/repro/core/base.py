@@ -87,6 +87,7 @@ class JoinContext:
         deadline=None,
         faults=None,
         live=None,
+        checkpoint=None,
     ) -> None:
         self.tree_r = tree_r
         self.tree_s = tree_s
@@ -125,6 +126,10 @@ class JoinContext:
         self.deadline = deadline if deadline is not None else NULL_DEADLINE
         if deadline is not None:
             deadline.bind_tracer(self.instr.tracer)
+        # Optional CheckpointManager; engines guard every capture point
+        # with ``if ctx.checkpoint is not None`` so the common case costs
+        # one attribute read and allocates nothing.
+        self.checkpoint = checkpoint
 
     def close(self) -> None:
         """Engine teardown: release the queue's on-disk spill files.
@@ -195,6 +200,31 @@ class JoinContext:
         """Count a (re-)access of an S-side node."""
         if not item.is_object:
             self.accessor_s.get(item.ref)
+
+    def buffer_state(self) -> dict[str, list[int]]:
+        """Resident page ids of both buffer pools (checkpoint capture).
+
+        Only the ids go into a checkpoint — restore re-reads the pages
+        from the stores — so checkpoint size stays independent of the
+        buffer capacity.
+        """
+        return {
+            "r": self.accessor_r.buffer.snapshot_lru(),
+            "s": self.accessor_s.buffer.snapshot_lru(),
+        }
+
+    def restore_buffers(self, state: dict[str, list[int]] | None) -> None:
+        """Warm both pools from a checkpoint's :meth:`buffer_state`.
+
+        Without this a resumed run starts with cold buffers and its
+        buffered node-access count (Table 2) drifts from the
+        uninterrupted run's; warming is uncounted, so the combined
+        prefix + remainder counters match exactly.
+        """
+        if not state:
+            return
+        self.accessor_r.buffer.warm(state["r"])
+        self.accessor_s.buffer.warm(state["s"])
 
     #: Materialized-children memo bound; cleared wholesale when full.
     _CHILD_CACHE_MAX = 1 << 18

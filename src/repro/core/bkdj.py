@@ -18,13 +18,24 @@ from repro.obs.metrics import StageMeter
 from repro.queues.distance_queue import DistanceQueue
 
 
-def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
-    """Run Algorithm 1 and return the k nearest pairs with run metrics."""
+def bkdj(
+    ctx: JoinContext, k: int, resume: dict | None = None
+) -> tuple[list[ResultPair], JoinStats]:
+    """Run Algorithm 1 and return the k nearest pairs with run metrics.
+
+    ``resume`` is a checkpoint's ``engine`` state (mode ``"exact"``):
+    the queues and emitted results are restored verbatim and the loop
+    continues from the captured boundary, so the remaining stream is
+    byte-identical to an uninterrupted run.
+    """
     if k <= 0:
         raise ValueError("k must be positive")
     results: list[ResultPair] = []
-    roots = ctx.root_items()
-    if roots is None:
+    # On resume the roots are already consumed (and their accesses
+    # charged) by the checkpointed run; fetching them again would skew
+    # node-access counters.
+    roots = ctx.root_items() if resume is None else None
+    if roots is None and resume is None:
         return results, ctx.make_stats("bkdj", k, 0)
 
     queue = ctx.main_queue
@@ -65,16 +76,44 @@ def bkdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     # computation lands in a stage delta.
     meter = StageMeter(ctx.instr) if tracer.enabled or metrics is not None else None
 
-    root_r, root_s = roots
-    queue.insert(ctx.instr.real_distance(root_r.rect, root_s.rect),
-                 PairPayload(root_r, root_s))
+    if resume is not None:
+        # The root pair (and its charged distance) was consumed by the
+        # checkpointed run; restoring the queues stands in for it.
+        results = list(resume["results"])
+        queue.restore(resume["queue"])
+        distance_queue.restore(resume["dq"])
+        ctx.restore_buffers(resume.get("buffers"))
+    else:
+        root_r, root_s = roots
+        queue.insert(ctx.instr.real_distance(root_r.rect, root_s.rect),
+                     PairPayload(root_r, root_s))
+
+    ckpt = ctx.checkpoint
+
+    def build_checkpoint() -> dict:
+        stats = ctx.make_stats("bkdj", k, len(results))
+        stats.distance_queue_insertions = distance_queue.insertions
+        return {
+            "mode": "exact",
+            "engine": {
+                "results": list(results),
+                "queue": queue.snapshot(),
+                "dq": distance_queue.snapshot(),
+                "buffers": ctx.buffer_state(),
+            },
+            "stats": stats,
+        }
 
     deadline = ctx.deadline
     while len(results) < k and queue:
         deadline.tick()
+        if ckpt is not None:
+            ckpt.barrier(build_checkpoint)
         distance, payload = queue.pop()
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
+            if ckpt is not None:
+                ckpt.note_emit()
             if result_hist is not None:
                 result_hist.observe(distance)
             if live is not None:

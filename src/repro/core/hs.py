@@ -27,17 +27,28 @@ from repro.queues.distance_queue import DistanceQueue
 
 
 def hs_incremental(
-    ctx: JoinContext, distance_queue: DistanceQueue | None = None
+    ctx: JoinContext,
+    distance_queue: DistanceQueue | None = None,
+    resume: dict | None = None,
+    emitted: list[ResultPair] | None = None,
 ) -> Iterator[ResultPair]:
     """Generator producing join results in increasing distance order.
 
     With ``distance_queue`` given this is HS-KDJ's traversal (the caller
     stops after k results); without it, HS-IDJ.
+
+    ``resume`` is a checkpoint's ``engine`` state: queue, expansion flip
+    and produced-count are restored and the traversal continues with the
+    byte-identical remaining stream.  ``emitted`` lets a k-bounded
+    caller (HS-KDJ) hand in its accumulated result list so checkpoints
+    capture it; stream consumers (HS-IDJ) pass ``None`` — their emitted
+    pairs are already out and the watermark stands in for them.
     """
-    roots = ctx.root_items()
-    if roots is None:
+    # On resume the roots were consumed (and charged) pre-checkpoint;
+    # re-fetching them would skew node-access counters.
+    roots = ctx.root_items() if resume is None else None
+    if roots is None and resume is None:
         return
-    root_r, root_s = roots
     queue = ctx.main_queue
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
@@ -45,9 +56,17 @@ def hs_incremental(
     live = ctx.instr.live
     if live is not None:
         live.set_stage("traversal")
-    start_distance = ctx.instr.real_distance(root_r.rect, root_s.rect)
-    queue.insert(start_distance, PairPayload(root_r, root_s))
-    flip = False
+    if resume is not None:
+        queue.restore(resume["queue"])
+        if distance_queue is not None:
+            distance_queue.restore(resume["dq"])
+        flip = resume["flip"]
+        ctx.restore_buffers(resume.get("buffers"))
+    else:
+        root_r, root_s = roots
+        start_distance = ctx.instr.real_distance(root_r.rect, root_s.rect)
+        queue.insert(start_distance, PairPayload(root_r, root_s))
+        flip = False
 
     def qdmax() -> float:
         return distance_queue.cutoff if distance_queue is not None else math.inf
@@ -56,11 +75,33 @@ def hs_incremental(
     tracer.begin(name)
     tracer.begin("stage:traversal")
     batch = tracer.batcher("expand")
-    produced = 0
+    produced = resume["produced"] if resume is not None else 0
     deadline = ctx.deadline
+    ckpt = ctx.checkpoint
+    algorithm = "hs-kdj" if distance_queue is not None else "hs-idj"
+
+    def build_checkpoint() -> dict:
+        stats = ctx.make_stats(algorithm, produced, produced)
+        if distance_queue is not None:
+            stats.distance_queue_insertions = distance_queue.insertions
+        return {
+            "mode": "exact",
+            "engine": {
+                "queue": queue.snapshot(),
+                "dq": distance_queue.snapshot() if distance_queue is not None else None,
+                "flip": flip,
+                "produced": produced,
+                "results": list(emitted) if emitted is not None else None,
+                "buffers": ctx.buffer_state(),
+            },
+            "stats": stats,
+        }
+
     try:
         while queue:
             deadline.tick()
+            if ckpt is not None:
+                ckpt.barrier(build_checkpoint)
             distance, payload = queue.pop()
             if distance > qdmax():
                 # Everything still queued is at least this far: by the time
@@ -69,6 +110,8 @@ def hs_incremental(
                 continue
             if payload.is_object_pair:
                 produced += 1
+                if ckpt is not None:
+                    ckpt.note_emit()
                 if result_hist is not None:
                     result_hist.observe(distance)
                 if live is not None:
@@ -131,19 +174,24 @@ def hs_incremental(
         tracer.end(name, results=produced)
 
 
-def hs_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
+def hs_kdj(
+    ctx: JoinContext, k: int, resume: dict | None = None
+) -> tuple[list[ResultPair], JoinStats]:
     """HS-KDJ: the k nearest pairs via uni-directional expansion."""
     if k <= 0:
         raise ValueError("k must be positive")
     distance_queue = DistanceQueue(k)
     results: list[ResultPair] = []
+    if resume is not None:
+        results.extend(resume["results"])
     if ctx.instr.live is not None:
         ctx.instr.live.start("hs-kdj", k)
-    generator = hs_incremental(ctx, distance_queue)
-    for pair in generator:
-        results.append(pair)
-        if len(results) == k:
-            break
+    generator = hs_incremental(ctx, distance_queue, resume=resume, emitted=results)
+    if len(results) < k:
+        for pair in generator:
+            results.append(pair)
+            if len(results) == k:
+                break
     # Explicit close (not GC) so the traversal's trace spans end before
     # the stats snapshot and before the run's tracer is closed.
     generator.close()
@@ -152,6 +200,6 @@ def hs_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinStats]:
     return results, stats
 
 
-def hs_idj(ctx: JoinContext) -> Iterator[ResultPair]:
+def hs_idj(ctx: JoinContext, resume: dict | None = None) -> Iterator[ResultPair]:
     """HS-IDJ: unbounded incremental stream (no distance queue)."""
-    return hs_incremental(ctx, None)
+    return hs_incremental(ctx, None, resume=resume)

@@ -61,7 +61,26 @@ def nested_loop_kdj(ctx: JoinContext, k: int) -> tuple[list[ResultPair], JoinSta
     best_j = np.empty(0, dtype=np.int64)
     total_pairs = 0
     deadline = ctx.deadline
+    ckpt = ctx.checkpoint
+
+    def build_checkpoint(scanned: int) -> dict:
+        # NLJ is a replay engine: nothing streams out until the final
+        # sort, so a resume recomputes from scratch.  The checkpoint
+        # records scan progress for partial stats and the restart marker.
+        stats = ctx.make_stats("nlj", k, 0)
+        stats.extra["outer_scanned"] = float(scanned)
+        stats.extra["outer_total"] = float(len(ids_r))
+        return {
+            "mode": "replay",
+            "engine": {"outer_scanned": scanned},
+            "stats": stats,
+        }
+
     for r_start in range(0, len(ids_r), block):
+        if ckpt is not None:
+            # Once per outer block — the natural stage boundary of a
+            # block nested-loop scan.
+            ckpt.barrier(lambda: build_checkpoint(r_start))
         r_rects = rects_r[r_start : r_start + block]
         for s_start in range(0, len(ids_s), INNER_CHUNK):
             # One explicit check per vectorized chunk: iterations are few

@@ -328,6 +328,11 @@ class ExpansionRecord:
 # ----------------------------------------------------------------------
 
 
+def _unpickled_lazy_pack() -> None:
+    """Stand-in for a :class:`_LazyPack` crossing a pickle boundary."""
+    return None
+
+
 class _LazyPack:
     """Defers backend packing until a window actually needs it.
 
@@ -353,6 +358,14 @@ class _LazyPack:
             self._packed = self._kernels.pack(self._items, self._keys)
             self._done = True
         return self._packed
+
+    def __reduce__(self):
+        # A pack cache holds a kernels backend and packed arrays — both
+        # process-local performance state, neither safely picklable.  A
+        # checkpointed ExpansionRecord therefore sheds its batch caches:
+        # it unpickles as None, and the sweeper's window evaluation falls
+        # back to the bit-identical scalar path when a batch is missing.
+        return (_unpickled_lazy_pack, ())
 
 
 class PlaneSweeper:

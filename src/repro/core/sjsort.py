@@ -63,9 +63,28 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
     batch = tracer.batcher("expand")
     produced = 0
     deadline = ctx.deadline
+    ckpt = ctx.checkpoint
+
+    def build_checkpoint() -> dict:
+        # SJ-SORT is a replay engine: its DFS stack holds borrowed node
+        # references whose restoration could not skip the external sort
+        # anyway, so a resume re-runs the join from scratch.  The
+        # checkpoint still records progress for partial stats and the
+        # restart marker.
+        stats = ctx.make_stats("sj-sort", produced, produced)
+        stats.queue_insertions = produced
+        stats.extra["dmax"] = dmax
+        return {
+            "mode": "replay",
+            "engine": {"produced": produced},
+            "stats": stats,
+        }
+
     try:
         while stack:
             deadline.tick()
+            if ckpt is not None:
+                ckpt.barrier(build_checkpoint)
             payload = stack.pop()
             children_r = ctx.children_r(payload.a)
             children_s = ctx.children_s(payload.b)
@@ -82,6 +101,8 @@ def spatial_join_within(ctx: JoinContext, dmax: float) -> Iterator[ResultPair]:
             while output:
                 pair = output.pop()
                 produced += 1
+                if ckpt is not None:
+                    ckpt.note_emit()
                 if result_hist is not None:
                     result_hist.observe(pair.distance)
                 if live is not None:

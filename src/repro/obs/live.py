@@ -368,6 +368,13 @@ class LivePlane:
         self.telemetry = telemetry
         self.publisher.add_source("workers", telemetry.snapshot)
 
+    def attach_checkpoint(self, manager: Any) -> None:
+        """Publish the run's last durable checkpoint (seq, watermark,
+        bytes, ms) in every status snapshot."""
+        if manager is None:
+            return
+        self.publisher.add_source("last_checkpoint", manager.live_view)
+
     def ensure_tracer(self, tracer: Any) -> Any:
         """A span-capable tracer for profiling, reusing the run's if live.
 

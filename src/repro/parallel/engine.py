@@ -700,16 +700,64 @@ def parallel_kdj(
     # Workers must not open the parent's trace file, status file,
     # metrics port or profile: they trace into collecting sinks shipped
     # back with their results, and the live plane is the parent's.
+    # Checkpointing is likewise the parent's: the durable unit is the
+    # whole staged join, captured at drain barriers between stages.
     worker_config = replace(
         sequential_config,
         status_path=None,
         metrics_port=None,
         profile_path=None,
+        checkpoint_path=None,
+        checkpoint_every_pairs=None,
+        checkpoint_every_s=None,
+        resume_from=None,
     )
     if tracer.enabled:
         worker_config = replace(worker_config, trace_path=None, trace_format=None)
     final: list[ResultPair] = []
     stages = 0
+    checkpoint = None
+    if config.checkpoint_path is not None or config.resume_from is not None:
+        from repro.resilience.checkpoint import CheckpointManager, join_fingerprint
+
+        fingerprint = join_fingerprint(tree_r, tree_s, algorithm, k)
+        if config.resume_from is not None:
+            from repro.resilience.recovery import load_checkpoint, validate_checkpoint
+
+            payload = load_checkpoint(config.resume_from, faults=config.fault_plan)
+            validate_checkpoint(
+                payload, algorithm=algorithm, k=k,
+                fingerprint=fingerprint, modes=("tiled",),
+            )
+            engine_state = payload["engine"]
+            delta = engine_state["delta"]
+            stages = engine_state["stages"]
+            final = list(engine_state["final"])
+            # Continue accumulating into the checkpointed aggregate: the
+            # next stage's merges land on top of the pre-crash counters.
+            total = payload["stats"]
+        checkpoint = CheckpointManager.from_config(
+            config, algorithm=algorithm, k=k, fingerprint=fingerprint,
+            tracer=tracer if tracer is not NULL_TRACER else None,
+        )
+        if checkpoint is not None:
+            checkpoint.note_emit(len(final))
+            checkpoint._last_emit_mark = checkpoint.emitted
+            if plane is not None:
+                plane.attach_checkpoint(checkpoint)
+
+    def build_checkpoint() -> dict:
+        # Drain-barrier snapshot: workers are quiesced (the stage pool
+        # has joined), partial top-k merged, aggregate stats folded.
+        snapshot = JoinStats(algorithm=total.algorithm, k=k)
+        snapshot.merge(total)
+        snapshot.results = len(final)
+        return {
+            "mode": "tiled",
+            "engine": {"delta": delta, "stages": stages, "final": list(final)},
+            "stats": snapshot,
+        }
+
     try:
         tracer.begin(
             f"join:parallel-{algorithm}",
@@ -820,12 +868,20 @@ def parallel_kdj(
             if tracer.enabled:
                 tracer.event("delta_widen", old=delta, new=new_delta, needed=needed)
             delta = new_delta
+            if checkpoint is not None:
+                # Stage boundary = drain barrier: the captured delta is
+                # the widened one, so a resume re-enters at exactly the
+                # stage this run was about to start.
+                checkpoint.note_emit(len(final) - checkpoint.emitted)
+                checkpoint.barrier(build_checkpoint)
         tracer.end(f"join:parallel-{algorithm}", results=len(final), stages=stages)
     finally:
         # Plane first: its final snapshot still reads the work dict and
         # the telemetry array.
         if plane is not None:
             plane.close()
+        if checkpoint is not None:
+            checkpoint.close()
         if owned_tracer is not None:
             owned_tracer.close()
 

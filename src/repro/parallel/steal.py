@@ -861,11 +861,66 @@ def shm_parallel_kdj(
     if deadline is not None:
         deadline.bind_tracer(tracer)
 
-    arena = TreeArena(tree_r, tree_s, use_shm=(mode == "shm-process"))
     final: list[ResultPair] = []
     stages = 0
     partitions = 0
     bound = PairwiseBound(k)
+    checkpoint = None
+    if config.checkpoint_path is not None or config.resume_from is not None:
+        from repro.resilience.checkpoint import CheckpointManager, join_fingerprint
+
+        fingerprint = join_fingerprint(tree_r, tree_s, algorithm, k)
+        if config.resume_from is not None:
+            from repro.resilience.recovery import load_checkpoint, validate_checkpoint
+
+            payload = load_checkpoint(config.resume_from, faults=config.fault_plan)
+            validate_checkpoint(
+                payload, algorithm=algorithm, k=k,
+                fingerprint=fingerprint, modes=("shm",),
+            )
+            engine_state = payload["engine"]
+            delta = engine_state["delta"]
+            stages = engine_state["stages"]
+            final = [ResultPair._make(pair) for pair in engine_state["acc"]]
+            # Work counters continue on top of the pre-crash totals.
+            ctr.absorb(engine_state["ctr"])
+        checkpoint = CheckpointManager.from_config(
+            config, algorithm=algorithm, k=k, fingerprint=fingerprint,
+            tracer=tracer if tracer is not NULL_TRACER else None,
+        )
+        if checkpoint is not None:
+            checkpoint.note_emit(len(final))
+            checkpoint._last_emit_mark = checkpoint.emitted
+            if plane is not None:
+                plane.attach_checkpoint(checkpoint)
+
+    # After the resume load: a bad checkpoint must not strand the
+    # shared-memory arena (its views pin the mapping until close()).
+    arena = TreeArena(tree_r, tree_s, use_shm=(mode == "shm-process"))
+
+    def build_checkpoint() -> dict:
+        # Drain-barrier snapshot: the stage pool has joined (workers
+        # quiesced), the stage's accumulator is already sorted and cut
+        # to the merged top-k.  Inter-stage state is small by design —
+        # every widened stage re-discovers its pairs from the arena.
+        snapshot = JoinStats(algorithm=total.algorithm, k=k)
+        snapshot.results = len(final)
+        snapshot.real_distance_computations = ctr.real
+        snapshot.axis_distance_computations = ctr.axis
+        snapshot.node_accesses = ctr.nodes
+        snapshot.node_accesses_unbuffered = ctr.nodes
+        snapshot.distance_queue_insertions = bound.insertions
+        return {
+            "mode": "shm",
+            "engine": {
+                "delta": delta,
+                "stages": stages,
+                "acc": [tuple(pair) for pair in final],
+                "ctr": ctr.as_dict(),
+            },
+            "stats": snapshot,
+        }
+
     run_started = time.monotonic()
     try:
         tracer.begin(
@@ -964,6 +1019,12 @@ def shm_parallel_kdj(
             if tracer.enabled:
                 tracer.event("delta_widen", old=delta, new=new_delta, needed=needed)
             delta = new_delta
+            if checkpoint is not None:
+                # Stage boundary = drain barrier: the captured delta is
+                # the widened one, so a resume re-enters at exactly the
+                # stage this run was about to start.
+                checkpoint.note_emit(len(final) - checkpoint.emitted)
+                checkpoint.barrier(build_checkpoint)
         tracer.end(f"join:parallel-{algorithm}", results=len(final), stages=stages)
         if tracer.enabled:
             # Final registry snapshot into the trace so offline report
@@ -974,6 +1035,8 @@ def shm_parallel_kdj(
         # registry and telemetry array.
         if plane is not None:
             plane.close()
+        if checkpoint is not None:
+            checkpoint.close()
         arena.close()
         if owned_tracer is not None:
             owned_tracer.close()

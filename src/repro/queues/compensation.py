@@ -46,3 +46,29 @@ class CompensationQueue(Generic[T]):
 
     def __bool__(self) -> bool:
         return bool(self._items)
+
+    def snapshot(self) -> dict:
+        """Picklable image: pending records plus the peak/total gauges.
+
+        The records themselves carry the per-anchor resume positions
+        (:class:`~repro.core.planesweep.ExpansionRecord` holds its
+        ``AnchorScan`` list), so snapshotting the FIFO captures exactly
+        where each pending compensation would pick up.
+        """
+        return {
+            "items": list(self._items),
+            "total_enqueued": self.total_enqueued,
+            "peak_size": self.peak_size,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from :meth:`snapshot`, preserving FIFO order.
+
+        Unlike the operation counters elsewhere, ``total_enqueued`` and
+        ``peak_size`` are restored as-is: the adaptive engines read them
+        directly for stage decisions and final stats, and they describe
+        the logical queue, not I/O performed by this process.
+        """
+        self._items = deque(state["items"])
+        self.total_enqueued = state["total_enqueued"]
+        self.peak_size = state["peak_size"]

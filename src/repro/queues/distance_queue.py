@@ -62,3 +62,19 @@ class DistanceQueue:
     def distances(self) -> list[float]:
         """All retained distances, unordered (for tests and diagnostics)."""
         return [-value for value in self._neg]
+
+    def snapshot(self) -> dict:
+        """Picklable image of the retained distances and cutoff."""
+        return {"k": self.k, "neg": list(self._neg), "cutoff": self._cutoff}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from :meth:`snapshot`; ``insertions`` starts fresh.
+
+        (The checkpointed stats prefix carries the pre-crash insertion
+        count; the resumed run's counters are merged on top.)
+        """
+        if state["k"] != self.k:
+            raise ValueError(f"checkpoint k={state['k']} != queue k={self.k}")
+        self._neg = list(state["neg"])
+        self._cutoff = state["cutoff"]
+        self.insertions = 0

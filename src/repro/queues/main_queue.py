@@ -198,7 +198,9 @@ class MainQueue:
         # failed once (ENOSPC rarely clears mid-run).
         self._spill_broken = False
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._created_spill_dir = False
         if self._spill_dir is not None:
+            self._created_spill_dir = not self._spill_dir.exists()
             self._spill_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -243,6 +245,17 @@ class MainQueue:
         self._last_segment = None
         self._heap = []
         self._size = 0
+        # A spill directory this queue itself created is temporary state:
+        # remove it once empty.  A pre-existing (user-supplied) directory
+        # is never touched.  ENOTEMPTY and friends are not errors — the
+        # directory may be shared with another queue or hold user files.
+        if self._created_spill_dir and self._spill_dir is not None:
+            try:
+                self._spill_dir.rmdir()
+            except OSError:
+                pass
+            else:
+                self._created_spill_dir = False
 
     def __enter__(self) -> "MainQueue":
         return self
@@ -348,6 +361,93 @@ class MainQueue:
         return True
 
     # ------------------------------------------------------------------
+    # Checkpoint snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Self-contained picklable image of the queue's logical state.
+
+        Spilled file batches are read back (checksums validated, file
+        left untouched) and embedded, so the checkpoint does not dangle
+        references to spill files that swap-ins unlink mid-run.  The
+        heap triples are captured verbatim — the ``seq`` tie-break
+        decides pop order among equal distances, so resumed pops stay
+        byte-identical.  Nothing is charged to the simulated disk:
+        checkpointing must not perturb the paper's cost counters.
+        """
+        def segment_state(segment: _Segment) -> tuple[float, float, list, int]:
+            entries: list[tuple[float, Any]] = []
+            if segment.path is not None and segment.path.exists():
+                entries.extend(
+                    self._read_batches(
+                        segment.path, segment.spilled, inject_faults=False
+                    )
+                )
+            entries.extend(segment.entries)
+            # staged_since_flush rides along so the resumed queue's next
+            # page-flush charge fires at the same insert as the original
+            # run's — without it the simulated response time drifts.
+            return (segment.lo, segment.hi, entries, segment.staged_since_flush)
+
+        return {
+            "mem_bound": self._mem_bound,
+            "seq": self._seq,
+            "heap": list(self._heap),
+            "split_segments": [segment_state(s) for s in self._split_segments],
+            "formula_segments": {
+                index: segment_state(s)
+                for index, s in self._formula_segments.items()
+            },
+            "size": self._size,
+            "spill_broken": self._spill_broken,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Rebuild the logical state captured by :meth:`snapshot`.
+
+        Counters start fresh — the checkpointed :class:`JoinStats`
+        prefix carries the pre-crash counts, and the resumed run's
+        stats are merged on top.  With a real ``spill_dir``, restored
+        segment entries are written straight back out so the resumed
+        run keeps the memory bound.
+        """
+        self.close()
+        if self._spill_dir is not None and not self._spill_dir.exists():
+            # close() removes a spill directory the queue created; the
+            # restored segments are about to spill again, so recreate it.
+            self._created_spill_dir = True
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+        self._mem_bound = state["mem_bound"]
+        self._seq = state["seq"]
+        self._heap = list(state["heap"])
+        self._size = state["size"]
+        self._spill_broken = bool(state["spill_broken"])
+        self._last_segment = None
+        self.stats = QueueStats()
+
+        def build(lo: float, hi: float, entries: list, staged: int) -> _Segment:
+            segment = _Segment(lo, hi)
+            # The staging counter only paces the simulated page-flush
+            # charge, so it is restored even when the real-spill rewrite
+            # leaves the staging buffer itself empty.
+            segment.staged_since_flush = staged
+            batch = list(entries)
+            if batch and self._spill_dir is not None:
+                if self._write_segment(segment, batch):
+                    return segment
+            segment.entries = batch
+            return segment
+
+        self._split_segments = [
+            build(lo, hi, entries, staged)
+            for lo, hi, entries, staged in state["split_segments"]
+        ]
+        self._formula_segments = {
+            index: build(lo, hi, entries, staged)
+            for index, (lo, hi, entries, staged) in state["formula_segments"].items()
+        }
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -401,54 +501,71 @@ class MainQueue:
         segment.spilled += len(batch)
         return True
 
-    def _read_segment(self, segment: _Segment) -> list[tuple[float, Any]]:
-        """Read back a segment: checksummed file batches plus staging.
+    def _read_batches(
+        self, path: Path, expected: int, inject_faults: bool = True
+    ) -> list[tuple[float, Any]]:
+        """Validate and decode every checksummed batch in a spill file.
 
-        Every batch's CRC-32 is validated against its payload, and the
-        total entry count against what the queue wrote; any mismatch —
-        bit rot, truncation, an injected ``spill_read`` fault — raises
-        :class:`SpillCorruptionError`.  The raising path leaves the file
-        registered on the segment, so :meth:`close` still unlinks it.
+        Non-destructive: the file is neither unlinked nor truncated, so
+        snapshotting can embed a live segment's spilled entries without
+        disturbing it.  Every batch's CRC-32 is validated against its
+        payload, and the total entry count against ``expected``; any
+        mismatch — bit rot, truncation, an injected ``spill_read`` fault
+        — raises :class:`SpillCorruptionError`.  ``inject_faults=False``
+        skips the injection hook (snapshot reads must not advance the
+        ``spill_read`` occurrence counter the drain path relies on).
+        """
+        loaded: list[tuple[float, Any]] = []
+        corrupt: str | None = None
+        with open(path, "rb") as f:
+            while corrupt is None:
+                try:
+                    record = pickle.load(f)
+                except EOFError:
+                    break
+                except Exception as exc:
+                    corrupt = f"unreadable batch framing ({exc})"
+                    break
+                try:
+                    checksum, blob = record
+                except (TypeError, ValueError):
+                    corrupt = "bad batch record shape"
+                    break
+                if inject_faults and self._faults is not None:
+                    blob = self._faults.maybe_corrupt(blob)
+                if zlib.crc32(blob) != checksum:
+                    corrupt = "checksum mismatch"
+                    break
+                try:
+                    loaded.extend(pickle.loads(blob))
+                except Exception as exc:
+                    corrupt = f"bad batch payload ({exc})"
+                    break
+        if corrupt is None and len(loaded) != expected:
+            corrupt = (
+                f"expected {expected} spilled entries, "
+                f"read {len(loaded)} (truncated file)"
+            )
+        if corrupt is not None:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "spill_corruption", path=str(path), detail=corrupt
+                )
+            raise SpillCorruptionError(f"spill segment {path.name}: {corrupt}")
+        return loaded
+
+    def _read_segment(self, segment: _Segment) -> list[tuple[float, Any]]:
+        """Drain a segment: checksummed file batches plus staging.
+
+        Destructive wrapper over :meth:`_read_batches`: on success the
+        spill file is unlinked and the staging buffer cleared.  The
+        raising path leaves the file registered on the segment, so
+        :meth:`close` still unlinks it.
         """
         loaded: list[tuple[float, Any]] = []
         path = segment.path
         if path is not None and path.exists():
-            corrupt: str | None = None
-            with open(path, "rb") as f:
-                while corrupt is None:
-                    try:
-                        record = pickle.load(f)
-                    except EOFError:
-                        break
-                    except Exception as exc:
-                        corrupt = f"unreadable batch framing ({exc})"
-                        break
-                    try:
-                        checksum, blob = record
-                    except (TypeError, ValueError):
-                        corrupt = "bad batch record shape"
-                        break
-                    if self._faults is not None:
-                        blob = self._faults.maybe_corrupt(blob)
-                    if zlib.crc32(blob) != checksum:
-                        corrupt = "checksum mismatch"
-                        break
-                    try:
-                        loaded.extend(pickle.loads(blob))
-                    except Exception as exc:
-                        corrupt = f"bad batch payload ({exc})"
-                        break
-            if corrupt is None and len(loaded) != segment.spilled:
-                corrupt = (
-                    f"expected {segment.spilled} spilled entries, "
-                    f"read {len(loaded)} (truncated file)"
-                )
-            if corrupt is not None:
-                if self.tracer.enabled:
-                    self.tracer.event(
-                        "spill_corruption", path=str(path), detail=corrupt
-                    )
-                raise SpillCorruptionError(f"spill segment {path.name}: {corrupt}")
+            loaded = self._read_batches(path, segment.spilled)
             path.unlink()
             segment.path = None
         segment.spilled = 0

@@ -11,33 +11,54 @@ Three pieces, each wired through the engines:
   activate;
 - :mod:`repro.resilience.deadline` — cooperative :class:`Deadline`
   enforcement for ``JoinConfig.deadline_s`` in every engine's expansion
-  loop.
+  loop;
+- :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.recovery`
+  — durable :class:`CheckpointManager` snapshots of a running join
+  (``JoinConfig.checkpoint_path``) plus the :func:`load_checkpoint`
+  side that ``resume_from`` runs use to continue the byte-identical
+  result stream after a crash or graceful SIGINT/SIGTERM shutdown.
 """
 
+from repro.resilience.checkpoint import CheckpointManager, join_fingerprint
 from repro.resilience.deadline import Deadline, NULL_DEADLINE, NullDeadline
 from repro.resilience.errors import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointVersionError,
     FaultSpecError,
     InjectedWorkerCrash,
     JoinDeadlineExceeded,
+    JoinInterrupted,
     PartitionFailedError,
     ReproError,
     SpillCorruptionError,
     SpillError,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, trip_worker_faults
+from repro.resilience.recovery import load_checkpoint, validate_checkpoint
 
 __all__ = [
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointMismatchError",
+    "CheckpointVersionError",
     "Deadline",
     "FaultPlan",
     "FaultSpec",
     "FaultSpecError",
     "InjectedWorkerCrash",
     "JoinDeadlineExceeded",
+    "JoinInterrupted",
     "NULL_DEADLINE",
     "NullDeadline",
     "PartitionFailedError",
     "ReproError",
     "SpillCorruptionError",
     "SpillError",
+    "join_fingerprint",
+    "load_checkpoint",
     "trip_worker_faults",
+    "validate_checkpoint",
 ]

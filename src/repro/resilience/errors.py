@@ -17,9 +17,14 @@ exception types real failures produce.
 from __future__ import annotations
 
 __all__ = [
+    "CheckpointCorruptionError",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointVersionError",
     "FaultSpecError",
     "InjectedWorkerCrash",
     "JoinDeadlineExceeded",
+    "JoinInterrupted",
     "PartitionFailedError",
     "ReproError",
     "SpillCorruptionError",
@@ -98,6 +103,58 @@ class JoinDeadlineExceeded(ReproError):
         # Survive the process-pool boundary: default exception pickling
         # would replay the formatted message into (budget_s, elapsed_s).
         return (type(self), (self.budget_s, self.elapsed_s))
+
+
+class JoinInterrupted(ReproError):
+    """A join stopped early on a graceful-shutdown request (SIGINT/SIGTERM).
+
+    Raised *after* the final checkpoint was captured, so the run can be
+    continued with ``--resume``.  Carries the partial :class:`JoinStats`
+    accumulated so far and the checkpoint path (``None`` when the final
+    capture itself failed).
+    """
+
+    exit_code = 77
+
+    def __init__(self, signal_name: str, checkpoint_path=None, stats=None) -> None:
+        self.signal_name = signal_name
+        self.checkpoint_path = checkpoint_path
+        self.stats = stats
+        where = f"; checkpoint written to {checkpoint_path}" if checkpoint_path else ""
+        super().__init__(f"join interrupted by {signal_name}{where}")
+
+    def __reduce__(self):
+        # stats/paths may not round-trip; keep the identifying fields.
+        return (type(self), (self.signal_name, self.checkpoint_path, None))
+
+
+class CheckpointError(ReproError):
+    """Base class for checkpoint write/read failures."""
+
+    exit_code = 78
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint file failed its CRC-32 or framing validation.
+
+    Raised when the payload cannot be unpickled (truncation), the magic
+    header is wrong, or the stored CRC-32 does not match the payload.
+    The checkpoint is unusable; the join must be re-run from scratch —
+    a corrupt checkpoint never yields garbage results.
+    """
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint file was written by an incompatible format version."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint does not match the join it is being applied to.
+
+    The stored fingerprint (trees, algorithm, ``k``, configuration) has
+    to agree with the resuming run; silently resuming a different join
+    would emit wrong results.
+    """
 
 
 class InjectedWorkerCrash(RuntimeError):

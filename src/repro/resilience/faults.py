@@ -1,7 +1,7 @@
 """Deterministic, seeded fault-injection harness.
 
 A :class:`FaultPlan` travels on ``JoinConfig.fault_plan`` (it pickles,
-so process-pool workers inherit it) and is consulted at four injection
+so process-pool workers inherit it) and is consulted at seven injection
 *sites*:
 
 - ``worker_crash`` — a partition worker raises
@@ -15,7 +15,13 @@ so process-pool workers inherit it) and is consulted at four injection
   ``OSError(ENOSPC)``;
 - ``spill_read`` — the payload of a spill batch being read back is
   corrupted in memory before checksum validation, so the queue raises
-  :class:`~repro.resilience.errors.SpillCorruptionError`.
+  :class:`~repro.resilience.errors.SpillCorruptionError`;
+- ``checkpoint_write`` — the next checkpoint write raises
+  ``OSError(ENOSPC)`` before the atomic rename, so the previous
+  checkpoint (if any) survives intact;
+- ``checkpoint_read`` — the payload of a checkpoint being loaded is
+  corrupted in memory before CRC validation, so recovery raises
+  :class:`~repro.resilience.errors.CheckpointCorruptionError`.
 
 Determinism: whether a site fires is a pure function of the plan's
 ``seed``, the site name, and the *occurrence index* — the partition
@@ -49,7 +55,15 @@ __all__ = ["FAULT_SITES", "WORKER_SITES", "FaultPlan", "FaultSpec", "trip_worker
 
 #: Every valid injection-site name.
 FAULT_SITES = frozenset(
-    {"worker_crash", "worker_kill", "worker_stall", "spill_write", "spill_read"}
+    {
+        "worker_crash",
+        "worker_kill",
+        "worker_stall",
+        "spill_write",
+        "spill_read",
+        "checkpoint_write",
+        "checkpoint_read",
+    }
 )
 
 #: Sites stripped by :meth:`FaultPlan.without_worker_faults` when a
@@ -195,6 +209,30 @@ class FaultPlan:
             return blob
         index = self._counts.get("spill_read", 0)
         if not self.should_fire("spill_read"):
+            return blob
+        if not blob:
+            return b"\x00"
+        if index % 2 == 0:
+            return bytes([blob[0] ^ 0xFF]) + blob[1:]
+        return blob[: max(len(blob) // 2, 1)]
+
+    # -- checkpoint-site helpers ------------------------------------------
+
+    def maybe_fail_checkpoint_write(self) -> None:
+        """Raise ``OSError(ENOSPC)`` when the ``checkpoint_write`` site fires."""
+        if self.armed("checkpoint_write") and self.should_fire("checkpoint_write"):
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+
+    def maybe_corrupt_checkpoint(self, blob: bytes) -> bytes:
+        """Corrupt a checkpoint payload when ``checkpoint_read`` fires.
+
+        Same corruption shapes as :meth:`maybe_corrupt`: alternates
+        between flipping a byte and truncating the payload.
+        """
+        if not self.armed("checkpoint_read"):
+            return blob
+        index = self._counts.get("checkpoint_read", 0)
+        if not self.should_fire("checkpoint_read"):
             return blob
         if not blob:
             return b"\x00"

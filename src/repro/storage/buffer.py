@@ -88,6 +88,27 @@ class BufferPool:
                 self._lru.popitem(last=False)
         return obj
 
+    def snapshot_lru(self) -> list[int]:
+        """Resident page ids, least-recently-used first (for checkpoints)."""
+        return list(self._lru)
+
+    def warm(self, page_ids) -> None:
+        """Re-populate the cache without counting accesses or charging I/O.
+
+        Checkpoint restore: the listed pages were fetched (and paid for)
+        before the snapshot, so reloading them must bypass both the
+        access counters and the simulated disk — otherwise a resumed run
+        would double-charge and its Table 2 numbers would drift from an
+        uninterrupted run's.
+        """
+        if self._frames == 0:
+            return
+        for page_id in page_ids:
+            self._lru[page_id] = self._store.read(page_id)
+            self._lru.move_to_end(page_id)
+            if len(self._lru) > self._frames:
+                self._lru.popitem(last=False)
+
     def invalidate(self, page_id: int) -> None:
         """Drop a page from the cache (after an in-place node update)."""
         if self._frames == 0:

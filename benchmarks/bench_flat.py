@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Flat-arena hot-path benchmark: batched flat engines vs the object-graph path.
+
+Runs the Figure-10 KDJ workload (B-KDJ, AM-KDJ, HS-KDJ across the
+stopping-cardinality sweep) twice per cell — once over the legacy
+object-graph path (``flat=False, batch_size=1``: per-expansion
+decorate-sorts, lazy rect packing, single pops) and once over the flat
+hot path (``flat=True, batch_size=0``: arena-backed sorted-side cache,
+zero-copy entry blocks, adaptive bulk-pop batching) — verifies that the
+result streams and counters are identical, and writes
+``BENCH_flat.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flat.py [--smoke] [--output PATH]
+
+Both modes assert the ``TARGET_SPEEDUP`` floor on the pooled B-KDJ wall
+times: Algorithm 1's expansion loop is exactly the object-graph code the
+flat path replaces, so it is the cell where the claim is falsifiable.
+AM-KDJ shares the sweep but spends part of its time in the
+(path-independent) compensation stage, and HS never sorts children at
+all — both are reported, identity-checked, and guarded against gross
+regression, but carry no 1.3x obligation.  ``--smoke`` runs a reduced
+dataset (CI runs this); the full run uses the paper-scale workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from emit_bench_json import _host  # noqa: E402
+from repro.core.api import JoinConfig, JoinRunner  # noqa: E402
+from repro.workloads.experiments import make_setup, scaled_ks  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_flat.json"
+
+#: Pooled B-KDJ wall-clock floor (object-graph over flat) both modes assert.
+TARGET_SPEEDUP = 1.3
+
+#: No path may regress worse than this on any cell (guards HS, where the
+#: flat path is expected to be roughly cost-neutral).
+REGRESSION_FLOOR = 0.8
+
+#: The Figure-10 KDJ engines that run the sequential expansion loop.
+ALGORITHMS = ("bkdj", "amkdj", "hs")
+
+CONFIGS = {
+    "object_graph": dict(flat=False, batch_size=1),
+    "flat": dict(flat=True, batch_size=0),
+}
+
+
+def _run_cell(setup, algorithm: str, k: int, config: str):
+    """One (algorithm, k, config) cell: wall time plus a comparison key."""
+    runner = JoinRunner(
+        setup.tree_r, setup.tree_s, JoinConfig(**CONFIGS[config])
+    )
+    t0 = time.perf_counter()
+    result = runner.kdj(k, algorithm)
+    wall = time.perf_counter() - t0
+    s = result.stats
+    # ``response_time`` rides in the exact fingerprint: both sweep
+    # bodies flush the distance counters per anchor in the same order,
+    # so the simulated clock is bit-identical, not merely close.
+    fingerprint = (
+        tuple(result.results),
+        s.real_distance_computations,
+        s.axis_distance_computations,
+        s.node_accesses,
+        s.response_time,
+    )
+    return wall, fingerprint
+
+
+def run_matrix(setup, ks, rounds: int = 3) -> list[dict]:
+    """Best-of-``rounds`` wall times, configs interleaved per cell.
+
+    Interleaving and taking the minimum cancels the in-process drift
+    (GC pressure, allocator state, frequency scaling) that otherwise
+    systematically penalizes whichever path runs later.
+    """
+    rows = []
+    for algorithm in ALGORITHMS:
+        for k in ks:
+            walls = {name: [] for name in CONFIGS}
+            fps = {}
+            for _ in range(rounds):
+                for name in CONFIGS:
+                    gc.collect()
+                    wall, fp = _run_cell(setup, algorithm, k, name)
+                    walls[name].append(wall)
+                    fps[name] = fp
+            wall_obj = min(walls["object_graph"])
+            wall_flat = min(walls["flat"])
+            identical = fps["object_graph"] == fps["flat"]
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "k": k,
+                    "wall_object_graph_s": wall_obj,
+                    "wall_flat_s": wall_flat,
+                    "speedup": wall_obj / wall_flat
+                    if wall_flat > 0
+                    else float("inf"),
+                    "identical": identical,
+                }
+            )
+            print(
+                f"  {algorithm:>6s} k={k:>6d}: obj={wall_obj:7.3f}s "
+                f"flat={wall_flat:7.3f}s  {wall_obj / wall_flat:5.2f}x  "
+                f"identical={identical}"
+            )
+    return rows
+
+
+def _pooled(rows: list[dict], algorithms) -> float:
+    obj = sum(r["wall_object_graph_s"] for r in rows if r["algorithm"] in algorithms)
+    flat = sum(r["wall_flat_s"] for r in rows if r["algorithm"] in algorithms)
+    return obj / flat if flat > 0 else float("inf")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced dataset; same identity checks and speedup floor",
+    )
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        setup = make_setup(n_streets=12000, n_hydro=4000)
+        ks = [1000, 4000]
+    else:
+        setup = make_setup()
+        ks = scaled_ks()
+
+    print(f"workload: {setup.name}  ks={ks}")
+    # Warm both paths (imports, the arena cache, tree/page caches) so the
+    # first timed cell does not absorb one-time costs.
+    for name in CONFIGS:
+        _run_cell(setup, "bkdj", ks[0], name)
+    # Smoke cells are short enough for scheduler jitter to swing a single
+    # round; more best-of rounds keep the CI floor assertion stable.
+    rows = run_matrix(setup, ks, rounds=5 if args.smoke else 3)
+
+    bkdj_speedup = _pooled(rows, {"bkdj"})
+    aggregate = _pooled(rows, set(ALGORITHMS))
+    all_identical = all(r["identical"] for r in rows)
+    worst = min(r["speedup"] for r in rows)
+
+    payload = {
+        "benchmark": "flat_hot_path",
+        "mode": "smoke" if args.smoke else "full",
+        "workload": {
+            "name": setup.name,
+            "n_r": setup.tree_r.size,
+            "n_s": setup.tree_s.size,
+            "ks": list(ks),
+            "algorithms": list(ALGORITHMS),
+        },
+        "host": _host(),
+        "configs": {name: dict(cfg) for name, cfg in CONFIGS.items()},
+        "bkdj_speedup": bkdj_speedup,
+        "aggregate_speedup": aggregate,
+        "worst_cell_speedup": worst,
+        "target_speedup": TARGET_SPEEDUP,
+        "paths_identical": all_identical,
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"aggregate: bkdj={bkdj_speedup:.2f}x all={aggregate:.2f}x "
+        f"worst-cell={worst:.2f}x identical={all_identical}"
+    )
+
+    if not all_identical:
+        print("FAIL: flat path changed the result stream", file=sys.stderr)
+        return 1
+    if bkdj_speedup < TARGET_SPEEDUP:
+        print(
+            f"FAIL: pooled B-KDJ speedup {bkdj_speedup:.2f}x below target "
+            f"{TARGET_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    if worst < REGRESSION_FLOOR:
+        print(
+            f"FAIL: a cell regressed to {worst:.2f}x "
+            f"(floor {REGRESSION_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

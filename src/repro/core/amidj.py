@@ -35,6 +35,7 @@ from repro.core.base import JoinContext
 from repro.core.pairs import Item, PairPayload, ResultPair
 from repro.core.planesweep import ExpansionRecord, PlaneSweeper, static_cutoff
 from repro.geometry.distances import max_distance
+from repro.kernels.flat import BatchController
 from repro.obs.metrics import StageMeter
 
 #: Stage-target growth when the user keeps asking for more results.
@@ -95,7 +96,8 @@ def amidj(
     queue = ctx.main_queue
     records: list[ExpansionRecord] = []
     sweeper = PlaneSweeper(
-        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
+        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction,
+        flat=ctx.flat_path(),
     )
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
@@ -127,8 +129,12 @@ def amidj(
         produced = 0
         last_distance = 0.0
 
+    # Staged inserts, bulk-pushed after each sweep (pop order is
+    # insertion-timing invariant within one expansion).
+    staged: list[tuple[float, PairPayload]] = []
+
     def emit(item_r: Item, item_s: Item, real: float) -> None:
-        queue.insert(real, PairPayload(item_r, item_s))
+        staged.append((real, PairPayload(item_r, item_s)))
 
     if live is not None:
         live.set_stage(f"s{state.stage}")
@@ -207,6 +213,49 @@ def amidj(
         return new_edmax
 
     deadline = ctx.deadline
+    controller = BatchController(ctx.batch_size())
+
+    def handle_node(distance: float, payload: PairPayload) -> None:
+        """Expand (or compensate) one non-object head under ``edmax``."""
+        cutoff_now = edmax
+        no_real_filter = static_cutoff(math.inf)
+        if payload.record is not None:
+            # Sorted child lists live in the record: no refetch, no re-sort.
+            record = payload.record
+            sweeper.compensate(
+                record,
+                axis_limit=lambda: cutoff_now,
+                real_limit=no_real_filter,
+                emit=emit,
+                new_record_real_cutoff=None,
+            )
+            if staged:
+                queue.push_many(staged)
+                staged.clear()
+            batch.tick(resumed=1)
+        else:
+            record = sweeper.expand(
+                payload.a,
+                payload.b,
+                ctx.children_r(payload.a),
+                ctx.children_s(payload.b),
+                axis_limit=lambda: cutoff_now,
+                real_limit=no_real_filter,
+                emit=emit,
+                keep_record=True,
+                pair_distance=distance,
+                record_real_cutoff=None,
+            )
+            assert record is not None
+            if staged:
+                queue.push_many(staged)
+                staged.clear()
+            batch.tick(fresh=1)
+        if not _exhausted(ctx, record, cutoff_now):
+            records.append(record)
+            if len(records) > state.comp_records_peak:
+                state.comp_records_peak = len(records)
+
     try:
         while True:
             deadline.tick()
@@ -217,6 +266,51 @@ def amidj(
                     return  # dataset exhausted: every pair has been produced
                 edmax = advance_stage()
                 records = []
+                continue
+
+            width = controller.width(edmax)
+            if width > 1 and queue.pop_heads(width):
+                # Bulk pop under the stage cutoff: the eDmax guard is
+                # re-checked per drained head, and ``peek_head`` ends the
+                # batch when an emitted child would pop first, so stage
+                # boundaries land exactly where the unbatched run puts
+                # them.  (eDmax is constant within a stage.)
+                advance = False
+                while True:
+                    if ckpt is not None and ckpt.shutdown_requested:
+                        # A latched shutdown must not wait out the rest
+                        # of the batch: a caller pulling one more result
+                        # from a suspended stream expects the interrupt.
+                        # Breaking only shortens the batch (flush_heads
+                        # restores the drained tail), so the barrier
+                        # below snapshots the exact unbatched state.
+                        break
+                    head = queue.peek_head()
+                    if head is None:
+                        break
+                    distance, payload = head
+                    queue.consume_head()
+                    if distance > edmax and records:
+                        queue.insert(distance, payload)
+                        advance = True
+                        break
+                    if payload.is_object_pair:
+                        produced += 1
+                        last_distance = distance
+                        state.produced = produced
+                        if ckpt is not None:
+                            ckpt.note_emit()
+                        if result_hist is not None:
+                            result_hist.observe(distance)
+                        if live is not None:
+                            live.note_result()
+                        yield ResultPair(distance, payload.a.ref, payload.b.ref)
+                        continue
+                    handle_node(distance, payload)
+                queue.flush_heads()
+                if advance:
+                    edmax = advance_stage()
+                    records = []
                 continue
 
             distance, payload = queue.pop()
@@ -241,38 +335,7 @@ def amidj(
                 yield ResultPair(distance, payload.a.ref, payload.b.ref)
                 continue
 
-            cutoff_now = edmax
-            no_real_filter = static_cutoff(math.inf)
-            if payload.record is not None:
-                # Sorted child lists live in the record: no refetch, no re-sort.
-                record = payload.record
-                sweeper.compensate(
-                    record,
-                    axis_limit=lambda: cutoff_now,
-                    real_limit=no_real_filter,
-                    emit=emit,
-                    new_record_real_cutoff=None,
-                )
-                batch.tick(resumed=1)
-            else:
-                record = sweeper.expand(
-                    payload.a,
-                    payload.b,
-                    ctx.children_r(payload.a),
-                    ctx.children_s(payload.b),
-                    axis_limit=lambda: cutoff_now,
-                    real_limit=no_real_filter,
-                    emit=emit,
-                    keep_record=True,
-                    pair_distance=distance,
-                    record_real_cutoff=None,
-                )
-                assert record is not None
-                batch.tick(fresh=1)
-            if not _exhausted(ctx, record, cutoff_now):
-                records.append(record)
-                if len(records) > state.comp_records_peak:
-                    state.comp_records_peak = len(records)
+            handle_node(distance, payload)
     finally:
         # Runs at exhaustion or when the caller abandons the stream
         # (GeneratorExit): close the open spans so the trace stays
@@ -319,8 +382,10 @@ def _next_stage(
 
 def _refill(queue, records: list[ExpansionRecord]) -> None:
     """Push every live record back into the main queue (Algorithm 3)."""
-    for record in records:
-        queue.insert(record.distance, PairPayload(record.a, record.b, record))
+    queue.push_many(
+        [(record.distance, PairPayload(record.a, record.b, record))
+         for record in records]
+    )
 
 
 def _exhausted(ctx: JoinContext, record: ExpansionRecord, cutoff: float) -> bool:

@@ -62,6 +62,11 @@ class JoinConfig:
     backend changes wall-clock time only — results and every simulated
     cost counter are identical either way.
 
+    ``batch_size`` sets the sequential engines' bulk-pop expansion width
+    (``0`` = adaptive, ``1`` = single pops, ``None`` defers to
+    ``REPRO_BATCH`` then adaptive) and ``flat`` toggles the flat-arena
+    hot path; like the kernel backend, both change wall-clock time only.
+
     ``parallel`` switches k-distance joins to the partitioned parallel
     engine (:mod:`repro.parallel`) with that many workers;
     ``parallel_mode`` picks the executor (``"process"`` for CPU-bound
@@ -126,6 +131,8 @@ class JoinConfig:
     expansion_policy: str = "level"
     hs_insert_pruning: bool = True
     kernels: str | None = None
+    batch_size: int | None = None
+    flat: bool = True
     edmax: float | None = None
     adaptive_edmax: bool = False
     model_queue_boundaries: bool = True
@@ -160,6 +167,8 @@ class JoinConfig:
             expansion_policy=self.expansion_policy,
             hs_insert_pruning=self.hs_insert_pruning,
             kernels=self.kernels,
+            batch_size=self.batch_size,
+            flat=self.flat,
         )
 
 

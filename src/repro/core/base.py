@@ -58,6 +58,17 @@ class EngineOptions:
         ``REPRO_KERNELS`` environment variable, then auto-detection.
         Backends produce bit-identical results and identical simulated
         costs; only wall-clock time differs.
+    batch_size:
+        Bulk-pop expansion width for the sequential engines.  ``None``
+        defers to the ``REPRO_BATCH`` environment variable, then ``0``
+        (adaptive — width follows cutoff stability); ``1`` is the pure
+        single-pop path.  Every width yields byte-identical result
+        streams and identical counters.
+    flat:
+        Build the flat tree arena (:mod:`repro.kernels.flat`) at join
+        start and serve sorted/packed child sides from it.  On by
+        default; turning it off restores the per-expansion object walk
+        (the benchmark baseline).
     """
 
     optimize_axis: bool = True
@@ -66,6 +77,8 @@ class EngineOptions:
     expansion_policy: str = "level"
     hs_insert_pruning: bool = True
     kernels: str | None = None
+    batch_size: int | None = None
+    flat: bool = True
 
 
 class JoinContext:
@@ -130,6 +143,37 @@ class JoinContext:
         # with ``if ctx.checkpoint is not None`` so the common case costs
         # one attribute read and allocates nothing.
         self.checkpoint = checkpoint
+        # Flat hot path (repro.kernels.flat), built lazily on first use:
+        # engines that never expand through the sweeper (SJ-SORT, NLJ)
+        # must not pay the arena serialization.
+        self._flat = None
+        self._flat_built = False
+
+    def flat_path(self):
+        """The run's :class:`~repro.kernels.flat.FlatHotPath`, or ``None``.
+
+        Built on first request (arena serialization is one BFS over each
+        tree) and shared by the sweeper and the tagged-batch cache; the
+        result is memoized, including a ``None`` when the options or the
+        backend rule it out.
+        """
+        if not self._flat_built:
+            self._flat_built = True
+            if self.options.flat:
+                from repro.kernels.flat import FlatHotPath
+
+                self._flat = FlatHotPath.build(
+                    self.tree_r, self.tree_s, self.instr.kernels
+                )
+                if self._flat is not None:
+                    self.instr.flat = self._flat
+        return self._flat
+
+    def batch_size(self) -> int:
+        """Resolved bulk-pop width knob (``0`` = adaptive)."""
+        from repro.kernels.flat import resolve_batch_size
+
+        return resolve_batch_size(self.options.batch_size)
 
     def close(self) -> None:
         """Engine teardown: release the queue's on-disk spill files.
@@ -140,6 +184,10 @@ class JoinContext:
         runs never leak ``seg-*.pile`` files in ``spill_dir``.
         """
         self.main_queue.close()
+        if self._flat is not None:
+            self.instr.flat = None
+            self._flat.close()
+            self._flat = None
 
     def __enter__(self) -> "JoinContext":
         return self

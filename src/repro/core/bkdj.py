@@ -14,6 +14,7 @@ from repro.core.base import JoinContext
 from repro.core.pairs import Item, PairPayload, ResultPair
 from repro.core.planesweep import PlaneSweeper
 from repro.core.stats import JoinStats
+from repro.kernels.flat import BatchController
 from repro.obs.metrics import StageMeter
 from repro.queues.distance_queue import DistanceQueue
 
@@ -41,7 +42,8 @@ def bkdj(
     queue = ctx.main_queue
     distance_queue = DistanceQueue(k)
     sweeper = PlaneSweeper(
-        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction
+        ctx.instr, ctx.options.optimize_axis, ctx.options.optimize_direction,
+        flat=ctx.flat_path(),
     )
     tracer = ctx.instr.tracer
     metrics = ctx.instr.metrics
@@ -54,9 +56,16 @@ def bkdj(
     def qdmax() -> float:
         return distance_queue.cutoff
 
+    # Emitted pairs are staged and bulk-pushed after each expansion (one
+    # heapq-merge instead of N pushes).  The distance queue is fed
+    # immediately — its cutoff drives the live sweep pruning — and the
+    # main queue's pop order never depends on insertion timing within
+    # one expansion, so the staging is invisible to the result stream.
+    staged: list[tuple[float, PairPayload]] = []
+
     def emit(item_r: Item, item_s: Item, real: float) -> None:
         pair = PairPayload(item_r, item_s)
-        queue.insert(real, pair)
+        staged.append((real, pair))
         if pair.is_object_pair:
             if tracer.enabled:
                 before = distance_queue.cutoff
@@ -105,11 +114,9 @@ def bkdj(
         }
 
     deadline = ctx.deadline
-    while len(results) < k and queue:
-        deadline.tick()
-        if ckpt is not None:
-            ckpt.barrier(build_checkpoint)
-        distance, payload = queue.pop()
+    controller = BatchController(ctx.batch_size())
+
+    def process(distance: float, payload: PairPayload) -> None:
         if payload.is_object_pair:
             results.append(ResultPair(distance, payload.a.ref, payload.b.ref))
             if ckpt is not None:
@@ -118,7 +125,7 @@ def bkdj(
                 result_hist.observe(distance)
             if live is not None:
                 live.note_result()
-            continue
+            return
         if live is not None:
             # B-KDJ has no estimate; both live cutoffs are the safe bound.
             live.set_cutoffs(qdmax(), qdmax())
@@ -133,7 +140,31 @@ def bkdj(
             real_limit=qdmax,
             emit=emit,
         )
+        if staged:
+            queue.push_many(staged)
+            staged.clear()
         batch.tick(children=len(children_r) + len(children_s))
+
+    while len(results) < k and queue:
+        deadline.tick()
+        if ckpt is not None:
+            ckpt.barrier(build_checkpoint)
+        width = controller.width(qdmax())
+        if width > 1 and queue.pop_heads(width):
+            # Bulk pop: the drained heads are walked under peek/consume;
+            # ``peek_head`` ends the batch the moment a child emitted by
+            # an expansion would pop first in the unbatched order, so
+            # the stream stays byte-identical at every width.
+            while len(results) < k:
+                head = queue.peek_head()
+                if head is None:
+                    break
+                queue.consume_head()
+                process(head[0], head[1])
+            queue.flush_heads()
+        else:
+            distance, payload = queue.pop()
+            process(distance, payload)
 
     batch.flush()
     tracer.end("stage:traversal")

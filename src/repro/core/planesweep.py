@@ -113,20 +113,25 @@ def _index_term(
         return max(0.0, hi - lo)
 
     width = b_hi - b_lo
-
-    def fraction(t: float) -> float:
-        overlap = min(t + cutoff, b_hi) - max(t, b_lo)
-        return max(0.0, overlap) / width
-
-    breakpoints = sorted({a_lo, a_hi, b_lo - cutoff, b_hi - cutoff, b_lo, b_hi})
+    # Duplicate breakpoints yield empty pieces that are skipped below, so
+    # deduplication would only change what gets skipped, not the sum; a
+    # plain sort keeps the accumulation order (and bits) of the deduped
+    # form while skipping the set build.  The integrand — the overlap
+    # fraction ``max(0, min(t + cutoff, b_hi) - max(t, b_lo)) / width`` —
+    # is inlined at both piece ends: it is linear on each piece, so the
+    # trapezoid is exact.
+    breakpoints = sorted((a_lo, a_hi, b_lo - cutoff, b_hi - cutoff, b_lo, b_hi))
     total = 0.0
-    for left, right in zip(breakpoints, breakpoints[1:]):
+    left = breakpoints[0]
+    for right in breakpoints[1:]:
         lo = max(left, a_lo)
         hi = min(right, a_hi)
+        left = right
         if hi <= lo:
             continue
-        # fraction() is linear on each piece, so the trapezoid is exact.
-        total += (fraction(lo) + fraction(hi)) / 2.0 * (hi - lo)
+        f_lo = max(0.0, min(lo + cutoff, b_hi) - max(lo, b_lo)) / width
+        f_hi = max(0.0, min(hi + cutoff, b_hi) - max(hi, b_lo)) / width
+        total += (f_lo + f_hi) / 2.0 * (hi - lo)
     return total
 
 
@@ -394,10 +399,21 @@ class PlaneSweeper:
         instr: Instruments,
         optimize_axis: bool = True,
         optimize_direction: bool = True,
+        flat=None,
     ) -> None:
         self._instr = instr
         self._kernels = instr.kernels
         self._plans = SweepPlanCache()
+        # The run's stats snapshot exports plan-cache eviction counts;
+        # registration keeps that wiring in Instruments.fill like every
+        # other counter.
+        instr.plan_caches.append(self._plans)
+        #: Optional :class:`repro.kernels.flat.FlatHotPath`.  When set,
+        #: node sides are sorted/packed once per (node, axis, direction)
+        #: out of the tree arena instead of per expansion; the fallback
+        #: object path below stays bit-identical, so mixing them (object
+        #: items, arena misses) is safe.
+        self._flat = flat
         self.optimize_axis = optimize_axis
         self.optimize_direction = optimize_direction
 
@@ -439,13 +455,8 @@ class PlaneSweeper:
         """
         select_cutoff = min(axis_limit(), real_limit())
         axis, forward = self._plan(a, b, select_cutoff)
-        sorted_r, keys_r = self._sort_side(children_r, axis, forward)
-        sorted_s, keys_s = self._sort_side(children_s, axis, forward)
-        if self._kernels.batched:
-            batch_r = _LazyPack(self._kernels, sorted_r, keys_r)
-            batch_s = _LazyPack(self._kernels, sorted_s, keys_s)
-        else:
-            batch_r = batch_s = None
+        sorted_r, keys_r, batch_r = self._side(a, children_r, True, axis, forward)
+        sorted_s, keys_s, batch_s = self._side(b, children_s, False, axis, forward)
 
         anchors: list[AnchorScan] | None = [] if keep_record else None
         self._merge_sweep(
@@ -585,6 +596,30 @@ class PlaneSweeper:
     def _sorted(self, items: list[Item], axis: int, forward: bool) -> list[Item]:
         return self._sort_side(items, axis, forward)[0]
 
+    def _side(
+        self, item: Item, children: list[Item], side_r: bool,
+        axis: int, forward: bool
+    ) -> tuple[list[Item], list[float], object | None]:
+        """One expansion side: sorted children, sweep keys, pack handle.
+
+        The flat hot path serves node sides from its per-(node, axis,
+        direction) cache — stable argsort over arena coordinates, same
+        tie order and key floats as :meth:`_sort_side` — and the sort
+        CPU charge is applied either way, so the simulated clock cannot
+        tell the paths apart.  Everything else (object items, arena
+        misses, no flat path) takes the per-expansion object sort.
+        """
+        flat = self._flat
+        if flat is not None:
+            cached = flat.sorted_side(side_r, item, children, axis, forward)
+            if cached is not None:
+                self._instr.charge_sort(len(children))
+                return cached
+        sorted_items, keys = self._sort_side(children, axis, forward)
+        if self._kernels.batched:
+            return sorted_items, keys, _LazyPack(self._kernels, sorted_items, keys)
+        return sorted_items, keys, None
+
     def _sort_side(
         self, items: list[Item], axis: int, forward: bool
     ) -> tuple[list[Item], list[float]]:
@@ -684,9 +719,60 @@ class PlaneSweeper:
         emit: EmitFn,
         anchors: list[AnchorScan] | None,
     ) -> None:
-        """Algorithm 1's PlaneSweep loop over both sorted child lists."""
+        """Algorithm 1's PlaneSweep loop over both sorted child lists.
+
+        Two observably identical bodies, chosen by hot path.  The legacy
+        object-graph path (``flat=None``) delegates each anchor to
+        :meth:`_scan`, exactly the loop every release so far has run —
+        preserved verbatim so the fallback stays bit- and
+        performance-compatible, and so the flat/legacy benchmark
+        baseline is the real legacy code, not a detuned copy.  The flat
+        hot path runs :meth:`_scan` inlined — the sweep fires once per
+        anchor across every expansion, and at the ~2-pair average scan
+        length the call overhead (argument packing, the window
+        pre-checks, attribute reloads) dominates.  Any semantic change
+        must land in both bodies and in :meth:`_scan` (``compensate``
+        resumes through it); the three must stay observably identical.
+        """
+        if self._flat is None:
+            i = j = 0
+            n_r, n_s = len(sorted_r), len(sorted_s)
+            while i < n_r and j < n_s:
+                from_r = keys_r[i] <= keys_s[j]
+                if from_r:
+                    anchor, own_pos = sorted_r[i], i
+                    start = j
+                    other, other_keys, other_batch = sorted_s, keys_s, batch_s
+                    i += 1
+                else:
+                    anchor, own_pos = sorted_s[j], j
+                    start = i
+                    other, other_keys, other_batch = sorted_r, keys_r, batch_r
+                    j += 1
+                resume = self._scan(
+                    anchor, other, other_keys, other_batch, start, axis,
+                    forward, axis_limit, real_limit, emit, from_r,
+                )
+                if anchors is not None:
+                    anchors.append(AnchorScan(from_r, own_pos, start, resume))
+            return
         i = j = 0
         n_r, n_s = len(sorted_r), len(sorted_s)
+        min_window = self._kernels.min_window
+        sqrt = math.sqrt
+        # The cutoff closures may only move via ``emit`` (see
+        # :meth:`expand`); when both are the same callable (B-KDJ passes
+        # qDmax twice) one read serves both limits.
+        same_limit = axis_limit is real_limit
+        # The per-anchor counter flush inlined from ``count_axis`` +
+        # ``count_real`` (hot: it fires once per anchor at a ~2-pair
+        # average scan length), preserving their exact charge order.
+        instr = self._instr
+        disk = instr.disk
+        cost_model = disk.cost_model
+        c_axis = cost_model.cpu_axis_distance
+        c_real = cost_model.cpu_real_distance
+        charge = disk.charge_cpu
         while i < n_r and j < n_s:
             from_r = keys_r[i] <= keys_s[j]
             if from_r:
@@ -699,12 +785,77 @@ class PlaneSweeper:
                 start = i
                 other, other_keys, other_batch = sorted_r, keys_r, batch_r
                 j += 1
-            resume = self._scan(
-                anchor, other, other_keys, other_batch, start, axis, forward,
-                axis_limit, real_limit, emit, from_r,
-            )
+            anchor_rect = anchor.rect
+            a_xmin = anchor_rect.xmin
+            a_ymin = anchor_rect.ymin
+            a_xmax = anchor_rect.xmax
+            a_ymax = anchor_rect.ymax
+            if forward:
+                anchor_end = a_xmax if axis == 0 else a_ymax
+            else:
+                anchor_end = -(a_xmin if axis == 0 else a_ymin)
+            n = len(other)
+            axis_lim = axis_limit()
+            real_lim = axis_lim if same_limit else real_limit()
+            window = None
+            wn = 0
+            if other_batch is not None:
+                probe = start + min_window
+                if probe <= n and other_keys[probe - 1] <= anchor_end + axis_lim:
+                    window, wn = self._window(
+                        other_batch, other_keys, start, n,
+                        anchor_end, anchor_rect, axis_lim,
+                    )
+            stop = n
+            broke = False
+            for idx in range(start, n):
+                if other_keys[idx] - anchor_end > axis_lim:
+                    stop = idx
+                    broke = True
+                    break
+                off = idx - start
+                m = other[idx]
+                if off < wn:
+                    real = window[off]
+                else:
+                    # ``min_distance`` inlined (same operations, same
+                    # order, bit-identical result): the call overhead on
+                    # a ~2-entry average scan is measurable.
+                    m_rect = m.rect
+                    dx = a_xmin - m_rect.xmax
+                    gap = m_rect.xmin - a_xmax
+                    if gap > dx:
+                        dx = gap
+                    dy = a_ymin - m_rect.ymax
+                    gap = m_rect.ymin - a_ymax
+                    if gap > dy:
+                        dy = gap
+                    if dx <= 0.0:
+                        real = dy if dy > 0.0 else 0.0
+                    elif dy <= 0.0:
+                        real = dx
+                    else:
+                        real = sqrt(dx * dx + dy * dy)
+                if real <= real_lim:
+                    if from_r:
+                        emit(anchor, m, real)
+                    else:
+                        emit(m, anchor, real)
+                    axis_lim = axis_limit()
+                    real_lim = axis_lim if same_limit else real_limit()
+            # Per-anchor flush, in :meth:`_scan`'s exact order: the
+            # simulated clock is a float accumulator, so aggregating the
+            # charges across anchors would drift from the legacy path at
+            # the ulp level.
+            scanned = stop - start
+            n_axis = scanned + 1 if broke else scanned
+            instr.axis_distance_computations += n_axis
+            charge(n_axis * c_axis)
+            if scanned:
+                instr.real_distance_computations += scanned
+                charge(scanned * c_real)
             if anchors is not None:
-                anchors.append(AnchorScan(from_r, own_pos, start, resume))
+                anchors.append(AnchorScan(from_r, own_pos, start, stop))
 
     def _scan(
         self,

@@ -183,11 +183,22 @@ class Instruments:
         self.kernel_batched_pairs = 0
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # Sweep-plan caches register here (PlaneSweeper.__init__) so the
+        # stats snapshot can export their eviction counts.
+        self.plan_caches: list = []
+        # Optional FlatHotPath (repro.kernels.flat), attached by
+        # JoinContext.flat_path(): tagged batches then resolve to
+        # zero-copy arena entry blocks instead of freshly packed copies.
+        self.flat = None
         # Tagged packed-rect cache for mindist_batch: callers that batch
         # the same (immutable) rect list repeatedly — HS re-expanding a
         # node against many partners — pass a stable tag so the backend
         # packs the coordinate arrays once per node, not once per call.
+        # Bounded LRU (insertion-ordered dict, hits re-inserted): an
+        # unbounded incremental join must not grow it without limit.
         self._packs: dict[object, object] = {}
+        self._packs_maxsize = 65536
+        self.pack_cache_evictions = 0
         # Observability rides the same choke point as the counters: the
         # engines read the tracer and registry from here, so a run's
         # trace can never describe a different environment than its
@@ -288,24 +299,46 @@ class Instruments:
         n = len(items)
         self.count_real(n)
         if self.kernels.batched and n >= self.kernels.min_window:
-            packed = self._packs.get(tag) if tag is not None else None
+            packed = self._pack_get(tag) if tag is not None else None
             if packed is None:
-                packed = self.kernels.pack_rects([item.rect for item in items])
+                if self.flat is not None:
+                    # Zero-copy arena slice of the node's children; same
+                    # coordinate values in the same order as a fresh pack.
+                    packed = self.flat.entry_block(tag, n)
+                if packed is None:
+                    packed = self.kernels.pack_rects([item.rect for item in items])
                 if tag is not None:
-                    self._packs[tag] = packed
+                    self._pack_put(tag, packed)
             self.count_kernel_batch(n)
             return self.kernels.mindist_packed_within(rect, packed, bound)
         return self.kernels.mindist_within(
             rect, [item.rect for item in items], bound
         )
 
+    def _pack_get(self, tag: object):
+        packs = self._packs
+        packed = packs.get(tag)
+        if packed is not None:
+            del packs[tag]
+            packs[tag] = packed
+        return packed
+
+    def _pack_put(self, tag: object, packed: object) -> None:
+        packs = self._packs
+        if tag in packs:
+            del packs[tag]
+        elif len(packs) >= self._packs_maxsize:
+            del packs[next(iter(packs))]
+            self.pack_cache_evictions += 1
+        packs[tag] = packed
+
     def _packed_for(self, rects: list[Rect], tag: object):
         if tag is None:
             return self.kernels.pack_rects(rects)
-        packed = self._packs.get(tag)
+        packed = self._pack_get(tag)
         if packed is None:
             packed = self.kernels.pack_rects(rects)
-            self._packs[tag] = packed
+            self._pack_put(tag, packed)
         return packed
 
     def count_kernel_batch(self, n: int) -> None:
@@ -367,6 +400,13 @@ class Instruments:
         if self.plan_cache_hits or self.plan_cache_misses:
             stats.extra["kernels.plan_cache_hits"] = float(self.plan_cache_hits)
             stats.extra["kernels.plan_cache_misses"] = float(self.plan_cache_misses)
+        plan_evictions = sum(cache.evictions for cache in self.plan_caches)
+        if plan_evictions:
+            stats.extra["kernels.plan_cache_evictions"] = float(plan_evictions)
+        if self.pack_cache_evictions:
+            stats.extra["kernels.pack_cache_evictions"] = float(
+                self.pack_cache_evictions
+            )
         if self.metrics is not None:
             # Snapshot fields are all sum-mergeable by construction, so
             # JoinStats.merge aggregates worker registries correctly.

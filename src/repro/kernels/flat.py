@@ -1,0 +1,315 @@
+"""Flat-arena hot path for the sequential engines.
+
+The shm workers (PR 7) already evaluate kernels over zero-copy slices of
+a flat struct-of-arrays tree image; the sequential engines still paid a
+per-expansion object walk — ``sorted()`` over the child ``Item`` list and
+four Python list comprehensions to pack the rectangles.  This module
+gives the sequential path the same flat treatment:
+
+- :class:`FlatHotPath` — built per join over a plain-buffer
+  :class:`~repro.kernels.arena.TreeArena` (cached across joins while
+  both trees are unmutated), it caches each node's sorted child order
+  per (axis, direction) and gathers the packed coordinate arrays
+  straight out of the arena (one fancy-index per array), so a node
+  re-expanded against many partners sorts and packs exactly once;
+- :class:`BatchController` — the adaptive bulk-pop width policy: stay at
+  width 1 while the pruning cutoff is still moving between batches (so
+  the run is exactly the unbatched run while bookkeeping is volatile),
+  double up to :data:`MAX_BATCH` once it holds still;
+- :func:`resolve_batch_size` — config/env resolution for the
+  ``batch_size`` knob (``0`` = adaptive).
+
+Exactness: the cached sort uses a *stable* argsort over the same keys
+``PlaneSweeper._sort_side`` computes (entry coordinates round-trip the
+arena bit-for-bit, and IEEE negation matches for backward sweeps), so
+ties break by original child index exactly like the decorate-sort the
+object path runs.  Every cache hit still charges the sort CPU cost, so
+the simulated clock and all counters are path-invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.kernels.arena import TreeArena
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pairs import Item
+    from repro.rtree.tree import RTree
+
+try:  # pragma: no cover - the image ships numpy; fallback is for parity
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Upper bound of the adaptive bulk-pop width.  Past ~64 heads the heap
+#: savings flatten out while cutoff staleness risk (a batch ends early,
+#: wasted drain work) grows; fixed widths may exceed this.
+MAX_BATCH = 64
+
+#: Bound on cached sorted sides; cleared wholesale when exceeded (same
+#: policy as ``JoinContext._CHILD_CACHE_MAX``).  At most ``4 * nodes``
+#: entries exist, so ordinary joins never reach it.
+_SIDE_CACHE_MAX = 1 << 18
+
+
+def resolve_batch_size(value: int | None) -> int:
+    """Resolve the ``batch_size`` knob: explicit > env > adaptive.
+
+    ``None`` defers to the ``REPRO_BATCH`` environment variable (the CI
+    matrix forces widths that way), then to ``0`` — the adaptive policy.
+    ``1`` is the pure single-pop path; negatives clamp to adaptive.
+    """
+    if value is None:
+        raw = os.environ.get("REPRO_BATCH", "").strip()
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                value = 0
+    if value is None or value < 0:
+        return 0
+    return value
+
+
+class BatchController:
+    """Bulk-pop width policy, sampled once per outer loop iteration.
+
+    With a fixed ``batch_size`` the width is constant.  In adaptive mode
+    (``0``) the controller compares the engine's pruning-cutoff sample
+    against the previous iteration's: a change collapses the width to 1
+    (while qDmax/eDmax move fast, single pops keep every expansion's
+    bookkeeping maximally fresh), a repeat doubles it up to
+    :data:`MAX_BATCH` (a converged cutoff makes wide drains provably
+    safe and the per-pop overhead dominant).
+    """
+
+    __slots__ = ("_fixed", "_width", "_last")
+
+    def __init__(self, batch_size: int) -> None:
+        self._fixed = batch_size if batch_size > 0 else 0
+        self._width = 1
+        self._last: object = None
+
+    def width(self, cutoff_sample: object) -> int:
+        if self._fixed:
+            return self._fixed
+        if cutoff_sample != self._last:
+            self._last = cutoff_sample
+            self._width = 1
+        elif self._width < MAX_BATCH:
+            self._width *= 2
+        return self._width
+
+
+#: Cross-join arena cache: ``(id(tree_r), id(tree_s))`` ->
+#: ``(versions, weakrefs, arena)``.  The arena is an immutable snapshot
+#: of both trees, so repeated joins over the same (unmutated) pair —
+#: incremental streams, benchmark sweeps, query workloads — skip the
+#: serialization pass entirely.  Tree mutation bumps ``RTree.version``
+#: and misses the cache; tree death purges the entry via the weakref
+#: callbacks, so a recycled ``id()`` can never alias a stale snapshot.
+_ARENA_CACHE: dict = {}
+_ARENA_CACHE_MAX = 4
+
+
+def _shared_arena(tree_r: "RTree", tree_s: "RTree") -> TreeArena:
+    """A plain-buffer arena for the pair, reused while both trees stand still."""
+    key = (id(tree_r), id(tree_s))
+    versions = (tree_r.version, tree_s.version)
+    hit = _ARENA_CACHE.get(key)
+    if hit is not None:
+        cached_versions, (ref_r, ref_s), arena = hit
+        if cached_versions == versions and ref_r() is tree_r and ref_s() is tree_s:
+            return arena
+        del _ARENA_CACHE[key]
+    if len(_ARENA_CACHE) >= _ARENA_CACHE_MAX:
+        # Drop the oldest snapshot (insertion order); its buffers free
+        # with the last view holding them.
+        _ARENA_CACHE.pop(next(iter(_ARENA_CACHE)))
+    arena = TreeArena(tree_r, tree_s, use_shm=False)
+
+    def purge(_ref: object, _key: object = key) -> None:
+        _ARENA_CACHE.pop(_key, None)
+
+    _ARENA_CACHE[key] = (
+        versions, (weakref.ref(tree_r, purge), weakref.ref(tree_s, purge)), arena
+    )
+    return arena
+
+
+def _unpickled_flat_pack() -> None:
+    """Stand-in for a :class:`_FlatPack` crossing a pickle boundary."""
+    return None
+
+
+class _FlatPack:
+    """Packed coordinate arrays for one cached sorted side, gathered lazily.
+
+    Mirrors ``planesweep._LazyPack``: ``get()`` memoizes (``None`` below
+    the backend's ``min_pack``, exactly like ``kernels.pack``), and the
+    memo is shared by every expansion that hits the cache entry.  Rides
+    in ExpansionRecords; pickling sheds it (checkpoints must not carry
+    process-local arrays), unpickling as ``None`` so window evaluation
+    falls back to the bit-identical scalar path.
+    """
+
+    __slots__ = ("_view", "_lo", "_hi", "_order", "_keys", "_min_pack",
+                 "_packed", "_done")
+
+    def __init__(self, view, lo, hi, order, keys, min_pack) -> None:
+        self._view = view
+        self._lo = lo
+        self._hi = hi
+        self._order = order
+        self._keys = keys
+        self._min_pack = min_pack
+        self._packed = None
+        self._done = False
+
+    def get(self):
+        if not self._done:
+            self._done = True
+            lo, hi = self._lo, self._hi
+            if hi - lo >= self._min_pack:
+                from repro.kernels.numpy_backend import PackedItems
+
+                view = self._view
+                order = self._order
+                self._packed = PackedItems.from_arrays(
+                    self._keys,
+                    view.exmin[lo:hi][order],
+                    view.eymin[lo:hi][order],
+                    view.exmax[lo:hi][order],
+                    view.eymax[lo:hi][order],
+                )
+        return self._packed
+
+    def __reduce__(self):
+        return (_unpickled_flat_pack, ())
+
+
+class FlatHotPath:
+    """Per-join cache of arena-backed sorted sides and entry blocks."""
+
+    __slots__ = ("arena", "_kernels", "_index_r", "_index_s",
+                 "_view_r", "_view_s", "_sides", "_closed")
+
+    def __init__(self, arena: TreeArena, kernels) -> None:
+        self.arena = arena
+        self._kernels = kernels
+        self._index_r = arena.index_r
+        self._index_s = arena.index_s
+        self._view_r = arena.view_r
+        self._view_s = arena.view_s
+        #: (side_r, ref, axis, forward) -> (sorted_items, keys, pack)
+        self._sides: dict[tuple, tuple] = {}
+        self._closed = False
+
+    @classmethod
+    def build(cls, tree_r: "RTree", tree_s: "RTree", kernels) -> "FlatHotPath | None":
+        """Arena + hot path for a join, or ``None`` when it cannot help.
+
+        Requires NumPy (the gathers and the stable argsort are the whole
+        point) and a batched backend; empty datasets never expand a
+        node, so they skip the serialization cost too.
+        """
+        if _np is None or not getattr(kernels, "batched", False):
+            return None
+        if tree_r.size == 0 or tree_s.size == 0:
+            return None
+        return cls(_shared_arena(tree_r, tree_s), kernels)
+
+    def sorted_side(
+        self, side_r: bool, item: "Item", children: list, axis: int, forward: bool
+    ) -> tuple[list, list[float], object] | None:
+        """Sorted child list, sweep keys and pack for one node side.
+
+        Returns ``None`` when the item is not an arena node (object
+        items never map; a stale child list is rejected by the span
+        check) — the caller falls back to the object-path sort.  The
+        result is exactly ``PlaneSweeper._sort_side`` plus the lazy
+        pack: same item objects, same stable tie order, same key floats.
+        """
+        if item.is_object:
+            return None
+        ref = item.ref
+        key = (side_r, ref, axis, forward)
+        cached = self._sides.get(key)
+        if cached is not None:
+            return cached
+        if side_r:
+            node = self._index_r.get(ref)
+            view = self._view_r
+        else:
+            node = self._index_s.get(ref)
+            view = self._view_s
+        if node is None:
+            return None
+        lo = int(view.lo[node])
+        hi = int(view.hi[node])
+        if hi - lo != len(children):
+            return None
+        if forward:
+            keys = view.exmin[lo:hi] if axis == 0 else view.eymin[lo:hi]
+        else:
+            keys = -(view.exmax[lo:hi] if axis == 0 else view.eymax[lo:hi])
+        # Stable argsort == decorate-sort on (key, index): ties keep the
+        # original child order, so the sorted list is byte-identical to
+        # the object path's.
+        order = _np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        items = children  # entry order == child order by construction
+        sorted_items = [items[i] for i in order.tolist()]
+        pack = _FlatPack(view, lo, hi, order, keys_sorted,
+                         self._kernels.min_pack)
+        entry = (sorted_items, keys_sorted.tolist(), pack)
+        if len(self._sides) >= _SIDE_CACHE_MAX:
+            self._sides.clear()
+        self._sides[key] = entry
+        return entry
+
+    def entry_block(self, tag: object, n: int):
+        """Zero-copy packed-rects view of one node's children, by tag.
+
+        ``tag`` follows the HS convention ``(side_r, ref)``; anything
+        else (or a count mismatch) returns ``None`` and the caller packs
+        the old way.  The returned block is an arena slice —
+        duck-compatible with ``PackedRects`` — so re-expanding a node
+        against many partners allocates nothing at all.
+        """
+        if (
+            not isinstance(tag, tuple)
+            or len(tag) != 2
+            or not isinstance(tag[0], bool)
+        ):
+            return None
+        side_r, ref = tag
+        if side_r:
+            node = self._index_r.get(ref)
+            view = self._view_r
+        else:
+            node = self._index_s.get(ref)
+            view = self._view_s
+        if node is None:
+            return None
+        lo = int(view.lo[node])
+        hi = int(view.hi[node])
+        if hi - lo != n:
+            return None
+        return view.entries.slice(lo, hi)
+
+    def close(self) -> None:
+        """Release this join's side cache.  Idempotent.
+
+        The arena itself belongs to the cross-join cache (plain buffers,
+        nothing process-global to unlink) and stays mapped for the next
+        join over the same trees; it frees with its cache entry.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._sides.clear()
+        self._view_r = self._view_s = None

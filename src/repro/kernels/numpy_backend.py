@@ -30,6 +30,22 @@ class PackedItems:
         self.xmax = np.array([r.xmax for r in rects], dtype=np.float64)
         self.ymax = np.array([r.ymax for r in rects], dtype=np.float64)
 
+    @classmethod
+    def from_arrays(cls, keys, xmin, ymin, xmax, ymax) -> "PackedItems":
+        """Adopt existing coordinate arrays without re-deriving them.
+
+        The flat hot path gathers a node's sorted coordinates straight
+        out of the tree arena (one fancy-index per array) — no Python
+        rect walk, no per-expansion rebuild.
+        """
+        packed = cls.__new__(cls)
+        packed.keys = keys
+        packed.xmin = xmin
+        packed.ymin = ymin
+        packed.xmax = xmax
+        packed.ymax = ymax
+        return packed
+
 
 class PackedRects:
     """Struct-of-arrays snapshot of a bare rectangle list."""

@@ -47,23 +47,48 @@ def plan_key(a: "Item", b: "Item", cutoff: float) -> tuple:
     return (a.level, a.ref, b.level, b.ref, cutoff_bucket(cutoff))
 
 
+#: Default entry cap of :class:`SweepPlanCache`.  Sized for the paper's
+#: workloads (tens of thousands of distinct node pairs per run) while
+#: bounding a long incremental join, whose pair universe is unbounded.
+DEFAULT_PLAN_CACHE_SIZE = 65536
+
+
 class SweepPlanCache:
-    """A per-sweeper dictionary of ``plan_key -> (axis, forward)``.
+    """A per-sweeper LRU of ``plan_key -> (axis, forward)``.
 
     Lives for one engine run (one :class:`PlaneSweeper`), so entries
-    never leak across simulated environments.
+    never leak across simulated environments.  The cap keeps a long
+    incremental join from growing the cache without bound: once full,
+    the least-recently-used plan is evicted (and counted — the engines
+    export ``evictions`` through ``JoinStats.extra``).  Eviction only
+    costs a recomputation; plans never affect results.
     """
 
-    __slots__ = ("_plans",)
+    __slots__ = ("_plans", "_maxsize", "evictions")
 
-    def __init__(self) -> None:
+    def __init__(self, maxsize: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        # A plain dict is insertion-ordered; get() re-inserts to mark
+        # recency, so the first key is always the least recently used.
         self._plans: dict[tuple, tuple[int, bool]] = {}
+        self._maxsize = maxsize
+        self.evictions = 0
 
     def get(self, key: tuple) -> tuple[int, bool] | None:
-        return self._plans.get(key)
+        plans = self._plans
+        plan = plans.get(key)
+        if plan is not None:
+            del plans[key]
+            plans[key] = plan
+        return plan
 
     def put(self, key: tuple, plan: tuple[int, bool]) -> None:
-        self._plans[key] = plan
+        plans = self._plans
+        if key in plans:
+            del plans[key]
+        elif len(plans) >= self._maxsize:
+            del plans[next(iter(plans))]
+            self.evictions += 1
+        plans[key] = plan
 
     def __len__(self) -> int:
         return len(self._plans)

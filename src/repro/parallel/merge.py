@@ -125,3 +125,25 @@ class PairwiseBound(GlobalBound):
         self._seen.add(key)
         self._queue.insert(distance)
         return True
+
+    def offer_pairs(
+        self, pairs: list[tuple[float, int, int]]
+    ) -> list[tuple[float, int, int]]:
+        """Offer a committed batch; returns the pairs that were new.
+
+        Dedupes against all prior offers first, then feeds the fresh
+        distances through :meth:`DistanceQueue.push_many` in one bulk
+        insertion.  The retained multiset (and so the cutoff) matches a
+        per-pair :meth:`offer_pair` loop exactly — the k smallest
+        distances seen are order independent.
+        """
+        seen = self._seen
+        fresh: list[tuple[float, int, int]] = []
+        for pair in pairs:
+            key = (pair[1], pair[2])
+            if key not in seen:
+                seen.add(key)
+                fresh.append(pair)
+        if fresh:
+            self._queue.push_many([pair[0] for pair in fresh])
+        return fresh

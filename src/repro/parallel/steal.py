@@ -947,12 +947,11 @@ def shm_parallel_kdj(
 
             runtime: _StageRuntime | None = None
             cell = _LocalCell()
-            offer = bound.offer_pair
 
             def commit(pairs: list[tuple[float, int, int]]) -> None:
-                for pair in pairs:
-                    if offer(*pair):
-                        acc.append(pair)
+                # Bulk path: dedupe once, then one heapq-merge insertion
+                # into the global bound instead of a per-pair offer loop.
+                acc.extend(bound.offer_pairs(pairs))
                 cell.value = bound.cutoff
                 if live is not None:
                     # Per committed batch, not per pair: the estimate

@@ -51,6 +51,35 @@ class DistanceQueue:
             heapq.heapreplace(neg, -distance)
             self._cutoff = -neg[0]
 
+    def push_many(self, distances) -> None:
+        """Offer many distances at once; same retained multiset as a loop.
+
+        The retained state — the k smallest distances seen — is order
+        independent, so bulk insertion is trivially exact.  While the
+        heap is still filling, offers are collected and sifted in one
+        ``heapify`` pass instead of k pushes; past that point each
+        surviving offer is a single ``heapreplace``.  Used by the flat
+        hot path and the shm engine's pair-exchange commit.
+        """
+        neg = self._neg
+        k = self.k
+        fill = k - len(neg)
+        if fill > 0:
+            head = distances[:fill]
+            self.insertions += len(head)
+            neg.extend(-distance for distance in head)
+            heapq.heapify(neg)
+            if len(neg) == k:
+                self._cutoff = -neg[0]
+            distances = distances[fill:]
+        cutoff = self._cutoff
+        for distance in distances:
+            self.insertions += 1
+            if distance < cutoff:
+                heapq.heapreplace(neg, -distance)
+                cutoff = -neg[0]
+        self._cutoff = cutoff
+
     @property
     def cutoff(self) -> float:
         """``qDmax``: the k-th smallest distance seen, or ``inf`` if < k."""

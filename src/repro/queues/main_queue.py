@@ -174,6 +174,14 @@ class MainQueue:
         # the heap.
         self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
+        # Bulk-pop drain state (see pop_heads): triples mechanically
+        # removed from the heap but not yet accounted as popped.  While
+        # a drain is active ``_pending_min`` tracks the smallest
+        # heap-routed insert since the drain began — the batch-abort
+        # comparison that keeps bulk pops byte-identical to single pops.
+        self._pending: list[tuple[float, int, Any]] | None = None
+        self._pending_pos = 0
+        self._pending_min = math.inf
         # Last segment an insert routed to: consecutive spilled inserts
         # cluster by distance, so most lookups hit this one-entry memo.
         # Cleared by anything that drops or re-ranges a segment.
@@ -245,6 +253,7 @@ class MainQueue:
         self._last_segment = None
         self._heap = []
         self._size = 0
+        self._pending = None
         # A spill directory this queue itself created is temporary state:
         # remove it once empty.  A pre-existing (user-supplied) directory
         # is never touched.  ENOTEMPTY and friends are not errors — the
@@ -271,7 +280,23 @@ class MainQueue:
         if distance < self._mem_bound:
             self._seq -= 1
             heapq.heappush(self._heap, (distance, self._seq, payload))
-            if len(self._heap) > self._capacity:
+            if self._pending is not None:
+                if distance < self._pending_min:
+                    self._pending_min = distance
+                # The overflow check must count drained-but-unconsumed
+                # heads: they are logically still in the heap, and a
+                # split taken without them would pick a different median
+                # than the unbatched run.  Restoring them first makes
+                # the heap exactly the unbatched state (the engine sees
+                # ``peek_head() is None`` and ends its batch).
+                if (
+                    len(self._heap) + len(self._pending) - self._pending_pos
+                    > self._capacity
+                ):
+                    self.flush_heads()
+                    if len(self._heap) > self._capacity:
+                        self._split()
+            elif len(self._heap) > self._capacity:
                 self._split()
         else:
             segment = self._segment_for(distance)
@@ -299,6 +324,8 @@ class MainQueue:
 
     def pop(self) -> tuple[float, Any]:
         """Remove and return the globally smallest ``(distance, payload)``."""
+        if self._pending is not None:
+            self.flush_heads()
         while not self._heap:
             self._swap_in()
         self.stats.pops += 1
@@ -311,9 +338,187 @@ class MainQueue:
 
     def peek_key(self) -> float:
         """Smallest distance currently queued (swapping in if needed)."""
+        if self._pending is not None:
+            self.flush_heads()
         while not self._heap:
             self._swap_in()
         return self._heap[0][0]
+
+    # ------------------------------------------------------------------
+    # Bulk operations (flat hot path)
+    # ------------------------------------------------------------------
+    #
+    # ``pop_heads`` mechanically drains up to ``limit`` in-memory heap
+    # heads with *no* accounting: ``__len__`` and the pop counters stay
+    # logical, so to every observer the entries are still queued.  The
+    # engine then walks the drained run head by head — ``peek_head`` to
+    # inspect, ``consume_head`` to take it (this is where the pop is
+    # accounted, identically to :meth:`pop`), ``flush_heads`` to put the
+    # unconsumed tail back verbatim (original seq triples, so pop order
+    # is untouched).  Exactness argument: the drain stops at the
+    # in-memory heap boundary (never forces a swap-in), and
+    # ``peek_head`` refuses to hand out a head once a smaller-or-equal
+    # distance has been inserted into the heap region during the drain —
+    # ties included, because newer insertions carry lower seqs and would
+    # pop *first* in the unbatched run.
+
+    def pop_heads(self, limit: int) -> int:
+        """Drain up to ``limit`` heap heads into the pending run.
+
+        Returns the number drained (0 when batching is not worthwhile:
+        an empty or single-entry heap, or a drain already active).
+        Never swaps in — entries beyond the in-memory heap are left for
+        the normal single-pop path.
+        """
+        heap = self._heap
+        n = min(limit, len(heap))
+        if n <= 1 or self._pending is not None:
+            return 0
+        self._pending = [heapq.heappop(heap) for _ in range(n)]
+        self._pending_pos = 0
+        self._pending_min = math.inf
+        return n
+
+    def peek_head(self) -> tuple[float, Any] | None:
+        """Next pending head, or ``None`` when the batch must end.
+
+        ``None`` means either the run is exhausted, or it was implicitly
+        flushed (an insert during the drain overflowed the heap), or a
+        child inserted during the drain would pop before this head in
+        the unbatched order — in every case the caller falls back to the
+        outer single-pop loop, which observes the exact unbatched state.
+        """
+        pending = self._pending
+        if pending is None:
+            return None
+        entry = pending[self._pending_pos]
+        if self._pending_min <= entry[0]:
+            self.flush_heads()
+            return None
+        return entry[0], entry[2]
+
+    def consume_head(self) -> tuple[float, Any]:
+        """Take the current pending head, accounting it exactly as a pop."""
+        pending = self._pending
+        entry = pending[self._pending_pos]
+        self._pending_pos += 1
+        if self._pending_pos == len(pending):
+            self._pending = None
+        self.stats.pops += 1
+        self._size -= 1
+        self._disk.charge_cpu(self._disk.cost_model.cpu_queue_op)
+        if self._depth_hist is not None:
+            self._depth_hist.observe(self._size)
+        return entry[0], entry[2]
+
+    def flush_heads(self) -> None:
+        """Restore every unconsumed pending head verbatim; idempotent.
+
+        No accounting: the entries were never logically popped, so this
+        is invisible to every counter and to pop order (the original
+        ``(distance, seq, payload)`` triples re-enter the heap).
+        """
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        heap = self._heap
+        for i in range(self._pending_pos, len(pending)):
+            heapq.heappush(heap, pending[i])
+
+    def push_many(self, pairs: list[tuple[float, Any]]) -> None:
+        """Bulk insert, exactly equivalent to :meth:`insert` per pair.
+
+        Counters, CPU charges, depth samples and (crucially) seq
+        assignment match the per-entry loop.  As long as the batch
+        cannot overflow the heap — so no split can run mid-batch and
+        the memory bound stays fixed — the whole batch is processed in
+        one hoisted loop: in-bound entries collapse into one extend +
+        sift pass (``heapify``) for large batches, out-of-bound entries
+        stream into their spill segments with the per-page flush cadence
+        of the sequential path.  A batch that could trigger a split
+        falls back to the exact per-entry path.
+        """
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        n = len(pairs)
+        if n == 0:
+            return
+        if n == 1:
+            self.insert(pairs[0][0], pairs[0][1])
+            return
+        heap = self._heap
+        pending_n = (
+            0 if self._pending is None else len(self._pending) - self._pending_pos
+        )
+        if len(heap) + pending_n + n > self._capacity:
+            for distance, payload in pairs:
+                self.insert(distance, payload)
+            return
+        stats = self.stats
+        disk = self._disk
+        stats.insertions += n
+        disk.charge_cpu(disk.cost_model.cpu_queue_op * n)
+        bound = self._mem_bound
+        seq = self._seq
+        low = math.inf
+        in_bound: list[tuple[float, int, Any]] = []
+        entries_per_page = 0
+        segment = None
+        for distance, payload in pairs:
+            if distance < bound:
+                seq -= 1
+                in_bound.append((distance, seq, payload))
+                if distance < low:
+                    low = distance
+                continue
+            # Spill path, verbatim from :meth:`insert`: append to the
+            # covering segment, flush through the one-page write buffer.
+            # The covering-segment memo is kept in a local (synced with
+            # ``_last_segment`` by ``_segment_for``): consecutive spills
+            # land in the same segment, so the common case is two
+            # comparisons with no call.
+            if not entries_per_page:
+                entries_per_page = self._entries_per_page()
+            if segment is None or not (segment.lo <= distance < segment.hi):
+                segment = self._segment_for(distance)
+            segment.entries.append((distance, payload))
+            segment.staged_since_flush += 1
+            stats.spilled_entries += 1
+            if segment.staged_since_flush >= entries_per_page:
+                disk.sequential_write(1)
+                flushed = segment.staged_since_flush
+                segment.staged_since_flush = 0
+                if self._spill_dir is not None:
+                    if self._write_segment(segment, segment.entries):
+                        segment.entries = []
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "queue_spill", entries=flushed,
+                        segment_lo=segment.lo, segment_total=segment.total(),
+                    )
+        self._seq = seq
+        if in_bound:
+            # One sift pass beats m pushes once the batch is a
+            # meaningful fraction of the heap; below that, pushes into a
+            # large heap are cheaper than re-heapifying it.
+            if len(in_bound) * 8 >= len(heap):
+                heap.extend(in_bound)
+                heapq.heapify(heap)
+            else:
+                push = heapq.heappush
+                for entry in in_bound:
+                    push(heap, entry)
+            if self._pending is not None and low < self._pending_min:
+                self._pending_min = low
+        size = self._size
+        hist = self._depth_hist
+        if hist is not None:
+            for i in range(1, n + 1):
+                hist.observe(size + i)
+        self._size = size + n
+        if self._size > stats.peak_size:
+            stats.peak_size = self._size
 
     def _new_spill_path(self) -> Path:
         assert self._spill_dir is not None
@@ -375,6 +580,11 @@ class MainQueue:
         byte-identical.  Nothing is charged to the simulated disk:
         checkpointing must not perturb the paper's cost counters.
         """
+        # A drain in flight is invisible state: fold it back so the
+        # captured heap is complete (engines only checkpoint at batch
+        # boundaries, so this is a no-op there — it guards direct use).
+        self.flush_heads()
+
         def segment_state(segment: _Segment) -> tuple[float, float, list, int]:
             entries: list[tuple[float, Any]] = []
             if segment.path is not None and segment.path.exists():

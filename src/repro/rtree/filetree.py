@@ -91,6 +91,9 @@ class FileRTree(RTree):
                                    _FILE_HEADER.size)
         self.root_id = root_id
         self.size = size
+        # Read-only view: the mutation counter never moves, so flat-arena
+        # snapshots of a file tree stay valid for the file's lifetime.
+        self.version = 0
 
     @classmethod
     def open(cls, path: str | Path) -> "FileRTree":

@@ -63,6 +63,9 @@ class RTree:
         root = self._alloc_node(level=0)
         self.root_id = root.page_id
         self.size = 0
+        #: Mutation counter: bumped by every insert/delete so derived
+        #: snapshots (the flat-arena cache) can detect staleness cheaply.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,6 +75,7 @@ class RTree:
         """Insert one data rectangle with object id ``oid``."""
         RStarInserter(self).insert(rect, oid)
         self.size += 1
+        self.version += 1
 
     def insert_all(self, items: Iterable[tuple[Rect, int]]) -> None:
         """Insert many ``(rect, oid)`` items one by one."""
@@ -79,6 +83,7 @@ class RTree:
         for rect, oid in items:
             inserter.insert(rect, oid)
             self.size += 1
+            self.version += 1
 
     def delete(self, rect: Rect, oid: int) -> bool:
         """Remove the data entry ``(rect, oid)``; True when it existed.
@@ -90,6 +95,7 @@ class RTree:
 
         if _delete(self, rect, oid):
             self.size -= 1
+            self.version += 1
             return True
         return False
 
